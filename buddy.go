@@ -1,0 +1,44 @@
+package valois
+
+import "valois/internal/buddy"
+
+// BuddyAllocator is the lock-free buddy system the paper's §5.2 points to
+// for variable-sized cells: per-order lock-free free lists with
+// tag-validated lazy deletion and fully concurrent coalescing. It manages
+// abstract units — offsets into an arena of 2^maxOrder units — so it can
+// back any pool of variable-sized resources. All methods are safe for
+// concurrent use and non-blocking.
+type BuddyAllocator struct {
+	a *buddy.Allocator
+}
+
+// NewBuddyAllocator returns an allocator over 2^maxOrder units.
+func NewBuddyAllocator(maxOrder int) (*BuddyAllocator, error) {
+	a, err := buddy.New(maxOrder)
+	if err != nil {
+		return nil, err
+	}
+	return &BuddyAllocator{a: a}, nil
+}
+
+// Alloc returns the offset of a free block of at least size units,
+// aligned to the block's (power-of-two) size, together with the order to
+// pass back to Free. It returns buddy.ErrExhausted when no block can be
+// assembled.
+func (b *BuddyAllocator) Alloc(size int) (offset, order int, err error) {
+	order = buddy.OrderFor(size)
+	offset, err = b.a.Alloc(order)
+	return offset, order, err
+}
+
+// Free returns a block obtained from Alloc, coalescing it with free
+// buddies as far as possible.
+func (b *BuddyAllocator) Free(offset, order int) error {
+	return b.a.Free(offset, order)
+}
+
+// Capacity reports the arena size in units.
+func (b *BuddyAllocator) Capacity() int { return b.a.Capacity() }
+
+// FreeUnits counts the currently free units (exact at quiescence).
+func (b *BuddyAllocator) FreeUnits() int { return b.a.FreeUnits() }

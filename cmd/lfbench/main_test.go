@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"-e", "E8", "-quick", "-d", "10ms"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMultipleExperiments(t *testing.T) {
+	if err := run([]string{"-e", "E4,A3", "-quick", "-d", "10ms"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-e", "E42"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunFormats(t *testing.T) {
+	for _, format := range []string{"csv", "markdown"} {
+		if err := run([]string{"-e", "E8", "-quick", "-d", "5ms", "-format", format}); err != nil {
+			t.Fatalf("format %s: %v", format, err)
+		}
+	}
+	if err := run([]string{"-e", "E8", "-quick", "-d", "5ms", "-format", "xml"}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}

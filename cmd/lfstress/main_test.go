@@ -1,0 +1,31 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestStressEveryStructureBriefly(t *testing.T) {
+	for _, s := range []string{"list", "hash", "skiplist", "bst"} {
+		for _, m := range []string{"gc", "rc"} {
+			t.Run(s+"/"+m, func(t *testing.T) {
+				err := run([]string{
+					"-s", s, "-m", m, "-p", "4", "-d", "100ms", "-k", "64",
+					"-seed", fmt.Sprint(42),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestStressRejectsBadArgs(t *testing.T) {
+	if err := run([]string{"-s", "heap"}); err == nil {
+		t.Fatal("unknown structure accepted")
+	}
+	if err := run([]string{"-m", "arc"}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}

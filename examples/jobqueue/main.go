@@ -1,0 +1,92 @@
+// Jobqueue: a work-distribution pipeline on the lock-free queue, with a
+// lock-free dictionary tracking job results — the §1 scenario that
+// motivates avoiding locks. One of the workers is pathologically slow
+// (simulating a process stalled by preemption or a page fault); because
+// nothing holds a lock, the slow worker delays only the jobs it picked
+// up, never the queue or the results index that every other worker uses.
+//
+// Run with:
+//
+//	go run ./examples/jobqueue
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"valois"
+)
+
+type job struct {
+	ID      int
+	Payload int
+}
+
+const (
+	numJobs    = 600
+	numWorkers = 8
+	slowWorker = 3 // this worker stalls on every job
+	jobWork    = 200 * time.Microsecond
+	stall      = 4 * time.Millisecond
+)
+
+func main() {
+	jobs := valois.NewQueue[job]()
+	results := valois.NewHashDict[int, int](64, valois.GC, valois.HashInt)
+
+	for i := 0; i < numJobs; i++ {
+		jobs.Enqueue(job{ID: i, Payload: i})
+	}
+
+	start := time.Now()
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		completed = make(map[int]int, numWorkers) // worker -> jobs done
+	)
+	for w := 0; w < numWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			done := 0
+			for {
+				j, ok := jobs.Dequeue()
+				if !ok {
+					break
+				}
+				time.Sleep(jobWork) // simulate real per-job work
+				if w == slowWorker {
+					// A stalled process: under a lock-based queue this
+					// would convoy everyone behind it.
+					time.Sleep(stall)
+				}
+				results.Insert(j.ID, j.Payload*j.Payload)
+				done++
+			}
+			mu.Lock()
+			completed[w] = done
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	missing := 0
+	for i := 0; i < numJobs; i++ {
+		if _, ok := results.Find(i); !ok {
+			missing++
+		}
+	}
+	fmt.Printf("processed %d jobs in %v (%d missing)\n", numJobs, elapsed.Round(time.Millisecond), missing)
+	for w := 0; w < numWorkers; w++ {
+		tag := ""
+		if w == slowWorker {
+			tag = fmt.Sprintf("  <- stalled %v/job, hurt only itself", stall)
+		}
+		fmt.Printf("  worker %d: %4d jobs%s\n", w, completed[w], tag)
+	}
+	if v, ok := results.Find(42); ok {
+		fmt.Printf("spot check: result[42] = %d\n", v)
+	}
+}

@@ -1,0 +1,101 @@
+// Kvstore: a concurrent key-value cache on the lock-free hash dictionary
+// (§4.1). Writers continuously insert and expire entries while readers
+// serve lookups; no operation ever blocks another, and the run reports
+// per-role throughput. The example also contrasts the two memory modes:
+// GC (Go's collector reclaims cells) and RC (the paper's §5 reference
+// counts reclaim them exactly).
+//
+// Run with:
+//
+//	go run ./examples/kvstore
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"valois"
+)
+
+const (
+	keySpace = 4096
+	buckets  = 1024
+	readers  = 6
+	writers  = 2
+	runFor   = 500 * time.Millisecond
+)
+
+func main() {
+	for _, mode := range []valois.MemoryMode{valois.GC, valois.RC} {
+		run(mode)
+	}
+}
+
+func run(mode valois.MemoryMode) {
+	cache := valois.NewHashDict[string, int](buckets, mode, valois.HashString)
+
+	// Warm the cache.
+	for i := 0; i < keySpace/2; i++ {
+		cache.Insert(key(i), i)
+	}
+
+	var (
+		wg             sync.WaitGroup
+		stop           atomic.Bool
+		reads, hits    atomic.Int64
+		writes, evicts atomic.Int64
+	)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				k := key(rng.Intn(keySpace))
+				if _, ok := cache.Find(k); ok {
+					hits.Add(1)
+				}
+				reads.Add(1)
+			}
+		}(int64(r + 1))
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				i := rng.Intn(keySpace)
+				if rng.Intn(2) == 0 {
+					if cache.Insert(key(i), i) {
+						writes.Add(1)
+					}
+				} else {
+					if cache.Delete(key(i)) {
+						evicts.Add(1)
+					}
+				}
+			}
+		}(int64(100 + w))
+	}
+
+	time.Sleep(runFor)
+	stop.Store(true)
+	wg.Wait()
+
+	total := reads.Load()
+	hitRate := 0.0
+	if total > 0 {
+		hitRate = 100 * float64(hits.Load()) / float64(total)
+	}
+	fmt.Printf("[%s] %.0f reads/s (%.0f%% hits), %.0f writes/s, %.0f evictions/s\n",
+		mode,
+		float64(total)/runFor.Seconds(), hitRate,
+		float64(writes.Load())/runFor.Seconds(),
+		float64(evicts.Load())/runFor.Seconds())
+}
+
+func key(i int) string { return fmt.Sprintf("user:%04d", i) }

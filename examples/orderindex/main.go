@@ -1,0 +1,114 @@
+// Orderindex: a sorted price index over the lock-free sorted list
+// (§4.1). Traders add and cancel orders concurrently while a reporting
+// goroutine repeatedly range-scans the book in price order — the
+// paper's headline capability: arbitrary traversal concurrent with
+// interior insertion and deletion, with no lock stopping the scanners.
+//
+// Run with:
+//
+//	go run ./examples/orderindex
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"valois"
+)
+
+type order struct {
+	Qty    int
+	Trader int
+}
+
+const (
+	traders    = 6
+	priceLevls = 500
+	runFor     = 400 * time.Millisecond
+)
+
+func main() {
+	// Keyed by price (in cents); ordered iteration gives the book in
+	// price-priority order. A skip list would serve the same API at
+	// O(log n) per operation; the sorted list keeps the example closest
+	// to the paper's §3 structure.
+	book := valois.NewSortedListDict[int, order](valois.GC)
+
+	var (
+		wg      sync.WaitGroup
+		stop    atomic.Bool
+		adds    atomic.Int64
+		cancels atomic.Int64
+		scans   atomic.Int64
+		scanned atomic.Int64
+	)
+
+	for tr := 0; tr < traders; tr++ {
+		wg.Add(1)
+		go func(tr int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(tr + 1)))
+			for !stop.Load() {
+				price := 10000 + rng.Intn(priceLevls)
+				if rng.Intn(3) > 0 {
+					if book.Insert(price, order{Qty: 1 + rng.Intn(100), Trader: tr}) {
+						adds.Add(1)
+					}
+				} else {
+					if book.Delete(price) {
+						cancels.Add(1)
+					}
+				}
+			}
+		}(tr)
+	}
+
+	// The scanner: a full in-order pass over the live book, over and
+	// over, while the traders mutate it underneath.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			prev := -1
+			n := 0
+			book.Range(func(price int, o order) bool {
+				if price <= prev {
+					panic("scan observed prices out of order")
+				}
+				prev = price
+				n++
+				return true
+			})
+			scans.Add(1)
+			scanned.Add(int64(n))
+		}
+	}()
+
+	time.Sleep(runFor)
+	stop.Store(true)
+	wg.Wait()
+
+	fmt.Printf("order book after %v of concurrent trading:\n", runFor)
+	fmt.Printf("  %d orders added, %d cancelled, %d live levels\n",
+		adds.Load(), cancels.Load(), book.Len())
+	fmt.Printf("  %d full in-order scans completed concurrently (avg %d levels/scan), order always consistent\n",
+		scans.Load(), scanned.Load()/maxI64(scans.Load(), 1))
+
+	fmt.Println("best five levels:")
+	shown := 0
+	book.Range(func(price int, o order) bool {
+		fmt.Printf("  $%d.%02d  qty %3d  (trader %d)\n", price/100, price%100, o.Qty, o.Trader)
+		shown++
+		return shown < 5
+	})
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

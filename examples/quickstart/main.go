@@ -1,0 +1,44 @@
+// Quickstart: the lock-free list and a dictionary in a dozen lines.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"valois"
+)
+
+func main() {
+	// A lock-free list of strings. Cursors traverse and edit it; any
+	// number of goroutines may hold cursors over the same list.
+	l := valois.NewList[string](valois.GC)
+	c := l.Cursor()
+	c.Insert("world") // insert before the cursor's position
+	c.Reset()
+	c.Insert("hello")
+	c.Reset()
+	for !c.End() {
+		fmt.Println(c.Item())
+		c.Next()
+	}
+	c.Close()
+
+	// A non-blocking dictionary: here the skip list; the sorted list,
+	// hash table, and binary search tree share the same interface.
+	d := valois.NewSkipListDict[int, string](valois.GC)
+	d.Insert(3, "three")
+	d.Insert(1, "one")
+	d.Insert(2, "two")
+	d.Delete(2)
+
+	if v, ok := d.Find(1); ok {
+		fmt.Println("found:", v)
+	}
+	d.Range(func(k int, v string) bool {
+		fmt.Printf("  %d => %s\n", k, v)
+		return true
+	})
+}

@@ -1,0 +1,132 @@
+// Scheduler: an earliest-deadline-first task scheduler on the lock-free
+// priority queue (skip-list backed, §4.1), with per-task buffers carved
+// out of the lock-free buddy allocator (§5.2's variable-sized-cell
+// extension). Producers submit tasks with deadlines while workers
+// continuously extract the most urgent one; no lock anywhere, and at the
+// end the buddy arena coalesces back to a single block.
+//
+// Run with:
+//
+//	go run ./examples/scheduler
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"valois"
+)
+
+type task struct {
+	name   string
+	offset int // buffer in the buddy arena
+	order  int
+	units  int
+}
+
+const (
+	producers = 3
+	workers   = 4
+	perProd   = 400
+)
+
+func main() {
+	pq := valois.NewPriorityQueue[int, task](valois.GC)
+	arena, err := valois.NewBuddyAllocator(17) // 131072 units
+	if err != nil {
+		panic(err)
+	}
+
+	var (
+		wg        sync.WaitGroup
+		submitted atomic.Int64
+		executed  atomic.Int64
+		rejected  atomic.Int64
+		unitsPeak atomic.Int64
+	)
+
+	// Producers: submit tasks with random deadlines and buffer sizes.
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(p + 1)))
+			for i := 0; i < perProd; i++ {
+				size := 1 + rng.Intn(64)
+				off, order, err := arena.Alloc(size)
+				if err != nil {
+					rejected.Add(1)
+					continue
+				}
+				deadline := p*perProd*10 + i*10 + rng.Intn(10) // unique-ish
+				ok := pq.Insert(deadline, task{
+					name:   fmt.Sprintf("p%d-t%d", p, i),
+					offset: off,
+					order:  order,
+					units:  1 << order,
+				})
+				if !ok {
+					// Deadline collision: return the buffer and move on.
+					_ = arena.Free(off, order)
+					rejected.Add(1)
+					continue
+				}
+				submitted.Add(1)
+				if used := int64(arena.Capacity() - arena.FreeUnits()); used > unitsPeak.Load() {
+					unitsPeak.Store(used)
+				}
+			}
+		}(p)
+	}
+
+	// Workers: repeatedly run the most urgent task.
+	done := make(chan struct{})
+	var wwg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wwg.Add(1)
+		go func() {
+			defer wwg.Done()
+			for {
+				deadline, t, ok := pq.DeleteMin()
+				if !ok {
+					select {
+					case <-done:
+						// Producers finished; drain what remains.
+						for {
+							_, t, ok := pq.DeleteMin()
+							if !ok {
+								return
+							}
+							_ = arena.Free(t.offset, t.order)
+							executed.Add(1)
+						}
+					default:
+						continue
+					}
+				}
+				_ = deadline // a real scheduler would compare against the clock
+				_ = arena.Free(t.offset, t.order)
+				executed.Add(1)
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(done)
+	wwg.Wait()
+
+	fmt.Printf("submitted %d tasks (%d rejected), executed %d — earliest-deadline-first\n",
+		submitted.Load(), rejected.Load(), executed.Load())
+	fmt.Printf("buddy arena: peak usage %d/%d units; after completion %d/%d free",
+		unitsPeak.Load(), arena.Capacity(), arena.FreeUnits(), arena.Capacity())
+	if arena.FreeUnits() == arena.Capacity() {
+		fmt.Println(" — fully coalesced back to one block")
+	} else {
+		fmt.Println(" — LEAK!")
+	}
+	if got := pq.Len(); got != 0 {
+		fmt.Printf("queue not empty: %d tasks left\n", got)
+	}
+}

@@ -1,0 +1,139 @@
+package valois_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"valois"
+	"valois/internal/buddy"
+)
+
+func TestBuddyAllocatorFacade(t *testing.T) {
+	b, err := valois.NewBuddyAllocator(6) // 64 units
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Capacity(); got != 64 {
+		t.Fatalf("Capacity = %d, want 64", got)
+	}
+	off, order, err := b.Alloc(5) // rounds to order 3 (8 units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order != 3 {
+		t.Fatalf("order = %d, want 3", order)
+	}
+	if off%8 != 0 {
+		t.Fatalf("offset %d not aligned to 8", off)
+	}
+	if got := b.FreeUnits(); got != 64-8 {
+		t.Fatalf("FreeUnits = %d, want %d", got, 64-8)
+	}
+	if err := b.Free(off, order); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.FreeUnits(); got != 64 {
+		t.Fatalf("FreeUnits after free = %d, want 64", got)
+	}
+	if _, _, err := b.Alloc(65); !errors.Is(err, buddy.ErrBadSize) {
+		t.Fatalf("oversized alloc error = %v, want ErrBadSize", err)
+	}
+	if _, err := valois.NewBuddyAllocator(-1); err == nil {
+		t.Fatal("negative maxOrder accepted")
+	}
+}
+
+func TestBuddyAllocatorConcurrent(t *testing.T) {
+	b, err := valois.NewBuddyAllocator(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				off, order, err := b.Alloc(1 + (g+i)%13)
+				if err != nil {
+					continue
+				}
+				if err := b.Free(off, order); err != nil {
+					t.Errorf("free failed: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := b.FreeUnits(); got != b.Capacity() {
+		t.Fatalf("FreeUnits = %d at quiescence, want %d", got, b.Capacity())
+	}
+}
+
+func TestManagedQueueFacade(t *testing.T) {
+	for _, mode := range []valois.MemoryMode{valois.GC, valois.RC} {
+		t.Run(mode.String(), func(t *testing.T) {
+			q := valois.NewManagedQueue[string](mode)
+			if !q.Empty() {
+				t.Fatal("fresh queue not empty")
+			}
+			q.Enqueue("a")
+			q.Enqueue("b")
+			if got := q.Len(); got != 2 {
+				t.Fatalf("Len = %d, want 2", got)
+			}
+			if v, ok := q.Dequeue(); !ok || v != "a" {
+				t.Fatalf("Dequeue = %q,%v; want a,true", v, ok)
+			}
+			if v, ok := q.Dequeue(); !ok || v != "b" {
+				t.Fatalf("Dequeue = %q,%v; want b,true", v, ok)
+			}
+			if _, ok := q.Dequeue(); ok {
+				t.Fatal("Dequeue on empty queue reported a value")
+			}
+			q.Close()
+		})
+	}
+}
+
+func TestManagedQueueConcurrent(t *testing.T) {
+	q := valois.NewManagedQueue[int](valois.RC)
+	const (
+		producers = 4
+		perP      = 1000
+	)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perP; i++ {
+				q.Enqueue(p*perP + i)
+			}
+		}(p)
+	}
+	wg.Wait()
+	seen := make(map[int]bool)
+	for {
+		v, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		if seen[v] {
+			t.Fatalf("value %d dequeued twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != producers*perP {
+		t.Fatalf("drained %d values, want %d", len(seen), producers*perP)
+	}
+	q.Close()
+}
+
+func TestMemoryModeString(t *testing.T) {
+	if valois.GC.String() != "gc" || valois.RC.String() != "rc" {
+		t.Fatalf("mode names = %q/%q, want gc/rc", valois.GC, valois.RC)
+	}
+}

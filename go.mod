@@ -1,0 +1,3 @@
+module valois
+
+go 1.22

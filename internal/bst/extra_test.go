@@ -1,0 +1,158 @@
+package bst
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"valois/internal/mm"
+)
+
+func TestEmptyTree(t *testing.T) {
+	modes(t, func(t *testing.T, mode mm.Mode) {
+		tr := New[int, int](mode)
+		if got := tr.Len(); got != 0 {
+			t.Fatalf("Len = %d, want 0", got)
+		}
+		if keys := tr.Keys(); len(keys) != 0 {
+			t.Fatalf("Keys = %v, want empty", keys)
+		}
+		called := false
+		tr.Range(func(int, int) bool { called = true; return true })
+		if called {
+			t.Fatal("Range on empty tree invoked the callback")
+		}
+		if err := tr.CheckQuiescent(); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Delete(1) {
+			t.Fatal("Delete on empty tree succeeded")
+		}
+	})
+}
+
+func TestSkewedInsertOrders(t *testing.T) {
+	// Ascending and descending insert orders build degenerate (linear)
+	// trees; all operations must still be correct.
+	modes(t, func(t *testing.T, mode mm.Mode) {
+		for _, name := range []string{"ascending", "descending"} {
+			t.Run(name, func(t *testing.T) {
+				tr := New[int, int](mode)
+				const n = 200
+				for i := 0; i < n; i++ {
+					k := i
+					if name == "descending" {
+						k = n - 1 - i
+					}
+					if !tr.Insert(k, k) {
+						t.Fatalf("Insert(%d) failed", k)
+					}
+				}
+				if err := tr.CheckQuiescent(); err != nil {
+					t.Fatal(err)
+				}
+				keys := tr.Keys()
+				for i, k := range keys {
+					if k != i {
+						t.Fatalf("keys[%d] = %d, want %d", i, k, i)
+					}
+				}
+				// Delete every other key from the spine.
+				for k := 0; k < n; k += 2 {
+					if !tr.Delete(k) {
+						t.Fatalf("Delete(%d) failed", k)
+					}
+				}
+				if got := tr.Len(); got != n/2 {
+					t.Fatalf("Len = %d, want %d", got, n/2)
+				}
+				if err := tr.CheckQuiescent(); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	})
+}
+
+func TestRepeatedInsertDeleteSameKeys(t *testing.T) {
+	// Hammer a tiny key set so every deletion shape (leaf, one child, two
+	// children, root) occurs repeatedly, interleaved across goroutines.
+	modes(t, func(t *testing.T, mode mm.Mode) {
+		tr := New[int, int](mode)
+		var wg sync.WaitGroup
+		for g := 0; g < 6; g++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < 1500; i++ {
+					k := rng.Intn(7)
+					if rng.Intn(2) == 0 {
+						tr.Insert(k, k)
+					} else {
+						tr.Delete(k)
+					}
+				}
+			}(int64(g + 1))
+		}
+		wg.Wait()
+		if err := tr.CheckQuiescent(); err != nil {
+			t.Fatal(err)
+		}
+		if rc, ok := tr.Manager().(*mm.RC[item[int, int]]); ok {
+			tr.Close()
+			if live := rc.Stats().Live(); live != 0 {
+				t.Fatalf("live cells after Close = %d, want 0", live)
+			}
+		}
+	})
+}
+
+func TestValuesPreservedAcrossRestructuring(t *testing.T) {
+	// Two-children deletions move subtrees (Figure 14); the values of
+	// untouched keys must survive every restructuring.
+	tr := New[int, string](mm.ModeGC)
+	keys := []int{50, 25, 75, 12, 37, 62, 87, 6, 18, 31, 43}
+	for _, k := range keys {
+		tr.Insert(k, "v"+string(rune('a'+k%26)))
+	}
+	// 25 and 50 both have two children.
+	if !tr.Delete(25) || !tr.Delete(50) {
+		t.Fatal("two-children deletes failed")
+	}
+	for _, k := range keys {
+		if k == 25 || k == 50 {
+			continue
+		}
+		want := "v" + string(rune('a'+k%26))
+		if v, ok := tr.Find(k); !ok || v != want {
+			t.Fatalf("Find(%d) = %q,%v; want %q", k, v, ok, want)
+		}
+	}
+	if err := tr.CheckQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeFromPrunes(t *testing.T) {
+	tr := New[int, int](mm.ModeGC)
+	perm := rand.New(rand.NewSource(31)).Perm(500)
+	for _, k := range perm {
+		tr.Insert(k, k)
+	}
+	var keys []int
+	tr.RangeFrom(123, func(k, _ int) bool {
+		keys = append(keys, k)
+		return len(keys) < 10
+	})
+	for i, k := range keys {
+		if k != 123+i {
+			t.Fatalf("RangeFrom keys = %v, want 123..132", keys)
+		}
+	}
+	called := false
+	tr.RangeFrom(10_000, func(int, int) bool { called = true; return true })
+	if called {
+		t.Fatal("RangeFrom past the maximum visited items")
+	}
+}

@@ -1,0 +1,310 @@
+// Package buddy implements the lock-free buddy system the paper points
+// to for variable-sized cells: "in [28] we show how to extend these ideas
+// to implement a lock-free buddy system which provides management of
+// variable-sized cells" (§5.2).
+//
+// The allocator manages an arena of 2^maxOrder units. A block is a
+// (offset, order) pair covering 2^order units, aligned to its size. Free
+// blocks of each order live on a lock-free LIFO free list exactly like
+// §5.2's (Figures 17–18). The lock-free twist is coalescing: a block
+// cannot be removed from the middle of a lock-free stack, so merging is
+// done with per-block tag words instead:
+//
+//   - every block start has a tag: (state, order, version), updated only
+//     by Compare&Swap; the version counter makes tag transitions immune
+//     to the ABA problem (§5.1's concern, solved here with versioning
+//     rather than reference counts because tags are never reused for
+//     anything else);
+//   - Free first publishes the block's tag as FREE, then pushes a
+//     descriptor onto the order's free list. A concurrent Free of the
+//     buddy may claim the tag (FREE → DEAD) between those two steps and
+//     merge; the descriptor then dangles harmlessly;
+//   - Alloc pops descriptors and validates them against the tag with a
+//     Compare&Swap (FREE → ALLOCATED); descriptors whose block was
+//     claimed by a merge fail validation and are discarded — lazy
+//     deletion from the free list;
+//   - merging claims the buddy's tag (so at most one of the two
+//     concurrent freers wins), invalidates both halves, and re-frees the
+//     doubled block one order up, cascading as far as possible.
+//
+// Every operation is non-blocking: a failed Compare&Swap always means
+// another operation succeeded.
+package buddy
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// Block states stored in tags.
+const (
+	stateDead  uint64 = iota // not a current block (merged away, or interior)
+	stateFree                // on (or headed to) its order's free list
+	stateAlloc               // owned by a caller
+)
+
+// Tag layout: [version:40][order:8][state:8] (state in the low byte).
+const (
+	stateBits   = 8
+	orderBits   = 8
+	stateMask   = 1<<stateBits - 1
+	orderShift  = stateBits
+	orderMask   = 1<<orderBits - 1
+	verShift    = stateBits + orderBits
+	maxOrderCap = 48 // arena capacity is 2^maxOrder units; keep offsets in int
+)
+
+func packTag(state uint64, order int, ver uint64) uint64 {
+	return state | uint64(order)<<orderShift | ver<<verShift
+}
+
+func tagState(t uint64) uint64 { return t & stateMask }
+func tagOrder(t uint64) int    { return int(t >> orderShift & orderMask) }
+func tagVer(t uint64) uint64   { return t >> verShift }
+
+// Errors returned by the allocator.
+var (
+	// ErrExhausted reports that no block of the requested order could be
+	// assembled from the current free space.
+	ErrExhausted = errors.New("buddy: arena exhausted")
+	// ErrBadSize reports a size that is not satisfiable by the arena.
+	ErrBadSize = errors.New("buddy: bad size")
+)
+
+// Allocator is a lock-free buddy allocator over 2^maxOrder units.
+type Allocator struct {
+	maxOrder int
+	tags     []atomic.Uint64 // one per unit offset; only block starts matter
+	free     []freeStack     // per-order free lists
+
+	allocs atomic.Int64
+	frees  atomic.Int64
+	merges atomic.Int64
+	splits atomic.Int64
+	stale  atomic.Int64
+}
+
+// freeStack is the Treiber free list of Figures 17–18, holding block
+// descriptors. Descriptor nodes are garbage collected; the lazy-deletion
+// scheme means a descriptor may outlive its block's FREE state.
+type freeStack struct {
+	top atomic.Pointer[descriptor]
+}
+
+type descriptor struct {
+	next   atomic.Pointer[descriptor]
+	offset int
+	ver    uint64 // tag version the block had when freed
+}
+
+func (s *freeStack) push(d *descriptor) {
+	for {
+		top := s.top.Load()
+		d.next.Store(top)
+		if s.top.CompareAndSwap(top, d) {
+			return
+		}
+	}
+}
+
+func (s *freeStack) pop() *descriptor {
+	for {
+		top := s.top.Load()
+		if top == nil {
+			return nil
+		}
+		if s.top.CompareAndSwap(top, top.next.Load()) {
+			return top
+		}
+	}
+}
+
+// New returns an allocator managing 2^maxOrder units, initially one free
+// block of the maximum order.
+func New(maxOrder int) (*Allocator, error) {
+	if maxOrder < 0 || maxOrder > maxOrderCap {
+		return nil, fmt.Errorf("%w: maxOrder %d out of [0,%d]", ErrBadSize, maxOrder, maxOrderCap)
+	}
+	a := &Allocator{
+		maxOrder: maxOrder,
+		tags:     make([]atomic.Uint64, 1<<maxOrder),
+		free:     make([]freeStack, maxOrder+1),
+	}
+	a.tags[0].Store(packTag(stateFree, maxOrder, 1))
+	a.free[maxOrder].push(&descriptor{offset: 0, ver: 1})
+	return a, nil
+}
+
+// MaxOrder reports the order of the whole arena.
+func (a *Allocator) MaxOrder() int { return a.maxOrder }
+
+// Capacity reports the arena size in units.
+func (a *Allocator) Capacity() int { return 1 << a.maxOrder }
+
+// OrderFor returns the smallest order whose block size holds size units.
+func OrderFor(size int) int {
+	if size <= 1 {
+		return 0
+	}
+	order := 0
+	for 1<<order < size {
+		order++
+	}
+	return order
+}
+
+// Alloc returns the offset of a block of 2^order units aligned to its
+// size, or ErrExhausted/ErrBadSize.
+func (a *Allocator) Alloc(order int) (int, error) {
+	if order < 0 || order > a.maxOrder {
+		return 0, fmt.Errorf("%w: order %d out of [0,%d]", ErrBadSize, order, a.maxOrder)
+	}
+	for {
+		if d := a.free[order].pop(); d != nil {
+			// Validate against the tag: the descriptor is stale if a
+			// merge claimed the block or its version moved on.
+			want := packTag(stateFree, order, d.ver)
+			if a.tags[d.offset].CompareAndSwap(want, packTag(stateAlloc, order, d.ver+1)) {
+				a.allocs.Add(1)
+				return d.offset, nil
+			}
+			a.stale.Add(1)
+			continue
+		}
+		// Free list empty: split a larger block.
+		offset, err := a.allocSplit(order)
+		if err != nil {
+			return 0, err
+		}
+		a.allocs.Add(1)
+		return offset, nil
+	}
+}
+
+// allocSplit obtains a block of the requested order by allocating one
+// order up and splitting it, recursing toward the maximum order.
+func (a *Allocator) allocSplit(order int) (int, error) {
+	if order == a.maxOrder {
+		// Nothing larger to split; a concurrent Free may refill the
+		// list, but for this attempt the arena is exhausted.
+		if d := a.free[order].pop(); d != nil {
+			want := packTag(stateFree, order, d.ver)
+			if a.tags[d.offset].CompareAndSwap(want, packTag(stateAlloc, order, d.ver+1)) {
+				return d.offset, nil
+			}
+			a.stale.Add(1)
+		}
+		return 0, ErrExhausted
+	}
+	// Try this order's list once more before escalating, since frees and
+	// merges run concurrently.
+	if d := a.free[order].pop(); d != nil {
+		want := packTag(stateFree, order, d.ver)
+		if a.tags[d.offset].CompareAndSwap(want, packTag(stateAlloc, order, d.ver+1)) {
+			return d.offset, nil
+		}
+		a.stale.Add(1)
+	}
+	offset, err := a.allocSplit(order + 1)
+	if err != nil {
+		return 0, err
+	}
+	a.splits.Add(1)
+	// We own [offset, offset+2^(order+1)). Keep the lower half at the
+	// target order; free the upper half at the target order.
+	buddy := offset + 1<<order
+	a.tags[offset].Store(packTag(stateAlloc, order, tagVer(a.tags[offset].Load())+1))
+	a.freeBlock(buddy, order)
+	return offset, nil
+}
+
+// Free returns the block at offset with the given order to the allocator,
+// merging it with its free buddy as far as possible. The caller must own
+// the block (a matching earlier Alloc) and must not use it afterwards.
+func (a *Allocator) Free(offset, order int) error {
+	if order < 0 || order > a.maxOrder || offset < 0 || offset >= a.Capacity() || offset&(1<<order-1) != 0 {
+		return fmt.Errorf("%w: free of offset %d order %d", ErrBadSize, offset, order)
+	}
+	t := a.tags[offset].Load()
+	if tagState(t) != stateAlloc || tagOrder(t) != order {
+		return fmt.Errorf("%w: free of block not allocated at offset %d order %d", ErrBadSize, offset, order)
+	}
+	a.frees.Add(1)
+	a.freeBlock(offset, order)
+	return nil
+}
+
+// freeBlock makes [offset, offset+2^order) available, coalescing upward.
+func (a *Allocator) freeBlock(offset, order int) {
+	for {
+		if order == a.maxOrder {
+			a.publishFree(offset, order)
+			return
+		}
+		buddy := offset ^ 1<<order
+		bt := a.tags[buddy].Load()
+		if tagState(bt) == stateFree && tagOrder(bt) == order {
+			// The buddy is (or is about to be) on the free list: claim
+			// it. Exactly one claimer can win this Compare&Swap; its
+			// free-list descriptor goes stale and is discarded by Alloc.
+			if a.tags[buddy].CompareAndSwap(bt, packTag(stateDead, order, tagVer(bt)+1)) {
+				a.merges.Add(1)
+				// Invalidate our own half and continue one order up
+				// with the combined block.
+				mine := a.tags[offset].Load()
+				a.tags[offset].Store(packTag(stateDead, order, tagVer(mine)+1))
+				if buddy < offset {
+					offset = buddy
+				}
+				order++
+				continue
+			}
+			// Lost the claim race (the buddy was allocated or merged by
+			// someone else); re-read and fall through to publishing.
+			continue
+		}
+		a.publishFree(offset, order)
+		return
+	}
+}
+
+// publishFree marks the block FREE and pushes its descriptor. The tag is
+// published first so a concurrent freer of the buddy can claim and merge
+// it even before the descriptor lands on the list.
+func (a *Allocator) publishFree(offset, order int) {
+	ver := tagVer(a.tags[offset].Load()) + 1
+	a.tags[offset].Store(packTag(stateFree, order, ver))
+	a.free[order].push(&descriptor{offset: offset, ver: ver})
+}
+
+// Stats reports cumulative allocator activity.
+type Stats struct {
+	Allocs, Frees    int64
+	Merges, Splits   int64
+	StaleDescriptors int64
+}
+
+// Stats returns a snapshot of the counters.
+func (a *Allocator) Stats() Stats {
+	return Stats{
+		Allocs:           a.allocs.Load(),
+		Frees:            a.frees.Load(),
+		Merges:           a.merges.Load(),
+		Splits:           a.splits.Load(),
+		StaleDescriptors: a.stale.Load(),
+	}
+}
+
+// FreeUnits counts the units currently in FREE blocks by scanning tags.
+// It is a consistent total only at quiescence.
+func (a *Allocator) FreeUnits() int {
+	total := 0
+	for off := 0; off < a.Capacity(); off++ {
+		t := a.tags[off].Load()
+		if tagState(t) == stateFree {
+			total += 1 << tagOrder(t)
+		}
+	}
+	return total
+}

@@ -1,0 +1,269 @@
+package buddy
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrderFor(t *testing.T) {
+	tests := []struct {
+		size, want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {1024, 10},
+	}
+	for _, tt := range tests {
+		if got := OrderFor(tt.size); got != tt.want {
+			t.Errorf("OrderFor(%d) = %d, want %d", tt.size, got, tt.want)
+		}
+	}
+}
+
+func TestNewBounds(t *testing.T) {
+	if _, err := New(-1); err == nil {
+		t.Fatal("negative maxOrder accepted")
+	}
+	if _, err := New(maxOrderCap + 1); err == nil {
+		t.Fatal("huge maxOrder accepted")
+	}
+	a, err := New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Capacity() != 1 {
+		t.Fatalf("capacity = %d, want 1", a.Capacity())
+	}
+}
+
+func TestAllocWholeArena(t *testing.T) {
+	a, _ := New(4)
+	off, err := a.Alloc(4)
+	if err != nil || off != 0 {
+		t.Fatalf("Alloc(max) = %d,%v; want 0,nil", off, err)
+	}
+	if _, err := a.Alloc(0); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("Alloc on full arena = %v, want ErrExhausted", err)
+	}
+	if err := a.Free(off, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.FreeUnits(); got != 16 {
+		t.Fatalf("FreeUnits = %d, want 16", got)
+	}
+}
+
+func TestSplitProducesAlignedDisjointBlocks(t *testing.T) {
+	a, _ := New(5) // 32 units
+	offsets := make(map[int]bool)
+	for i := 0; i < 8; i++ {
+		off, err := a.Alloc(2) // 4 units each
+		if err != nil {
+			t.Fatalf("Alloc %d: %v", i, err)
+		}
+		if off%4 != 0 {
+			t.Fatalf("block %d at offset %d not aligned to 4", i, off)
+		}
+		if offsets[off] {
+			t.Fatalf("offset %d handed out twice", off)
+		}
+		offsets[off] = true
+	}
+	if _, err := a.Alloc(0); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("arena should be exhausted, got %v", err)
+	}
+}
+
+func TestCoalescingRestoresMaxBlock(t *testing.T) {
+	a, _ := New(6) // 64 units
+	var blocks []struct{ off, order int }
+	rng := rand.New(rand.NewSource(7))
+	// Fragment the arena with random-size allocations until exhaustion.
+	for {
+		order := rng.Intn(4)
+		off, err := a.Alloc(order)
+		if err != nil {
+			if errors.Is(err, ErrExhausted) {
+				break
+			}
+			t.Fatal(err)
+		}
+		blocks = append(blocks, struct{ off, order int }{off, order})
+	}
+	// Free in random order; coalescing must rebuild the single max block.
+	rng.Shuffle(len(blocks), func(i, j int) { blocks[i], blocks[j] = blocks[j], blocks[i] })
+	for _, b := range blocks {
+		if err := a.Free(b.off, b.order); err != nil {
+			t.Fatal(err)
+		}
+	}
+	off, err := a.Alloc(a.MaxOrder())
+	if err != nil {
+		t.Fatalf("max-order Alloc after freeing everything: %v (coalescing incomplete)", err)
+	}
+	if off != 0 {
+		t.Fatalf("max block at offset %d, want 0", off)
+	}
+	if s := a.Stats(); s.Merges == 0 {
+		t.Fatal("no merges recorded despite full coalescing")
+	}
+}
+
+func TestFreeValidation(t *testing.T) {
+	a, _ := New(4)
+	off, _ := a.Alloc(2)
+	if err := a.Free(off+1, 2); err == nil {
+		t.Fatal("misaligned free accepted")
+	}
+	if err := a.Free(off, 3); err == nil {
+		t.Fatal("wrong-order free accepted")
+	}
+	if err := a.Free(off, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(off, 2); err == nil {
+		t.Fatal("double free accepted")
+	}
+	if _, err := a.Alloc(9); !errors.Is(err, ErrBadSize) {
+		t.Fatal("oversized order accepted")
+	}
+}
+
+func TestConservationProperty(t *testing.T) {
+	// Property: any sequence of allocs and frees conserves units: free
+	// units + allocated units == capacity, and after freeing everything
+	// the arena coalesces back to one block.
+	f := func(ops []uint8) bool {
+		a, _ := New(6)
+		type blk struct{ off, order int }
+		var held []blk
+		unitsHeld := 0
+		for _, op := range ops {
+			if op%2 == 0 || len(held) == 0 {
+				order := int(op/2) % 4
+				off, err := a.Alloc(order)
+				if err != nil {
+					continue
+				}
+				held = append(held, blk{off, order})
+				unitsHeld += 1 << order
+			} else {
+				i := int(op) % len(held)
+				b := held[i]
+				if a.Free(b.off, b.order) != nil {
+					return false
+				}
+				held[i] = held[len(held)-1]
+				held = held[:len(held)-1]
+				unitsHeld -= 1 << b.order
+			}
+			if a.FreeUnits()+unitsHeld != a.Capacity() {
+				return false
+			}
+		}
+		for _, b := range held {
+			if a.Free(b.off, b.order) != nil {
+				return false
+			}
+		}
+		_, err := a.Alloc(a.MaxOrder())
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentChurnDisjointAndCoalescing(t *testing.T) {
+	const (
+		maxOrder   = 10 // 1024 units
+		goroutines = 8
+	)
+	iters := 3000
+	if testing.Short() {
+		iters = 300
+	}
+	a, _ := New(maxOrder)
+	var wg sync.WaitGroup
+
+	// occupancy tracks which goroutine owns each unit, to catch any
+	// overlapping allocation the moment it happens.
+	occupancy := make([]int32, a.Capacity())
+	var occMu sync.Mutex
+	claim := func(g, off, order int) bool {
+		occMu.Lock()
+		defer occMu.Unlock()
+		for u := off; u < off+1<<order; u++ {
+			if occupancy[u] != 0 {
+				return false
+			}
+		}
+		for u := off; u < off+1<<order; u++ {
+			occupancy[u] = int32(g + 1)
+		}
+		return true
+	}
+	unclaim := func(off, order int) {
+		occMu.Lock()
+		defer occMu.Unlock()
+		for u := off; u < off+1<<order; u++ {
+			occupancy[u] = 0
+		}
+	}
+
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g + 1)))
+			type blk struct{ off, order int }
+			var held []blk
+			for i := 0; i < iters; i++ {
+				if len(held) < 8 && rng.Intn(2) == 0 {
+					order := rng.Intn(5)
+					off, err := a.Alloc(order)
+					if err != nil {
+						continue
+					}
+					if !claim(g, off, order) {
+						t.Errorf("overlapping allocation at offset %d order %d", off, order)
+						return
+					}
+					held = append(held, blk{off, order})
+				} else if len(held) > 0 {
+					i := rng.Intn(len(held))
+					b := held[i]
+					unclaim(b.off, b.order)
+					if err := a.Free(b.off, b.order); err != nil {
+						t.Errorf("free failed: %v", err)
+						return
+					}
+					held[i] = held[len(held)-1]
+					held = held[:len(held)-1]
+				}
+			}
+			for _, b := range held {
+				unclaim(b.off, b.order)
+				if err := a.Free(b.off, b.order); err != nil {
+					t.Errorf("final free failed: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if got := a.FreeUnits(); got != a.Capacity() {
+		t.Fatalf("FreeUnits = %d at quiescence, want %d", got, a.Capacity())
+	}
+	if _, err := a.Alloc(maxOrder); err != nil {
+		t.Fatalf("max-order Alloc after concurrent churn: %v (coalescing incomplete)", err)
+	}
+	s := a.Stats()
+	if s.Allocs-1 != s.Frees { // the final max-order Alloc is unfreed
+		t.Fatalf("allocs-1 = %d, frees = %d; conservation broken", s.Allocs-1, s.Frees)
+	}
+}

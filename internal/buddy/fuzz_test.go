@@ -1,0 +1,53 @@
+package buddy
+
+import "testing"
+
+// FuzzAllocFree interprets a byte stream as alloc/free decisions and
+// checks unit conservation and full coalescing at the end of every input.
+func FuzzAllocFree(f *testing.F) {
+	f.Add([]byte{0, 2, 0, 4, 1, 0, 0, 1, 1, 1})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		a, err := New(7) // 128 units
+		if err != nil {
+			t.Fatal(err)
+		}
+		type blk struct{ off, order int }
+		var held []blk
+		units := 0
+		for i := 0; i+1 < len(ops); i += 2 {
+			if ops[i]%2 == 0 {
+				order := int(ops[i+1]) % 5
+				off, err := a.Alloc(order)
+				if err != nil {
+					continue
+				}
+				if off%(1<<order) != 0 {
+					t.Fatalf("misaligned block: offset %d order %d", off, order)
+				}
+				held = append(held, blk{off, order})
+				units += 1 << order
+			} else if len(held) > 0 {
+				j := int(ops[i+1]) % len(held)
+				b := held[j]
+				if err := a.Free(b.off, b.order); err != nil {
+					t.Fatalf("free of held block failed: %v", err)
+				}
+				held[j] = held[len(held)-1]
+				held = held[:len(held)-1]
+				units -= 1 << b.order
+			}
+			if got := a.FreeUnits(); got+units != a.Capacity() {
+				t.Fatalf("conservation broken: %d free + %d held != %d", got, units, a.Capacity())
+			}
+		}
+		for _, b := range held {
+			if err := a.Free(b.off, b.order); err != nil {
+				t.Fatalf("final free failed: %v", err)
+			}
+		}
+		if _, err := a.Alloc(a.MaxOrder()); err != nil {
+			t.Fatalf("arena did not coalesce back to one block: %v", err)
+		}
+	})
+}

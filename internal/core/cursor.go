@@ -1,0 +1,287 @@
+package core
+
+import (
+	"valois/internal/mm"
+)
+
+// Cursor is a position in a list (§2.1), implemented as the three pointers
+// of §3: target is the cell at the visited position (equal to the Last
+// dummy when visiting the end-of-list position), pre_aux is an auxiliary
+// node, and pre_cell is a regular cell used only by TryDelete. The cursor
+// is valid when pre_aux.next = target; concurrent structural changes near
+// the cursor invalidate it, and Update revalidates it.
+//
+// A cursor is owned by a single goroutine; distinct goroutines use distinct
+// cursors over the same shared list. Under mm.RC the cursor holds counted
+// references to the cells its three pointers visit; call Close when done
+// with the cursor.
+type Cursor[T any] struct {
+	list    *List[T]
+	target  *mm.Node[T]
+	preAux  *mm.Node[T]
+	preCell *mm.Node[T]
+}
+
+// List returns the list this cursor traverses.
+func (c *Cursor[T]) List() *List[T] { return c.list }
+
+// Reset moves the cursor to the first position of the list, implementing
+// First (Figure 6).
+func (c *Cursor[T]) Reset() {
+	l := c.list
+	// refs: drop whatever the cursor held before.
+	l.release(c.preCell)
+	l.release(c.preAux)
+	l.release(c.target)
+
+	c.preCell = l.first                       // Fig 6 line 1; the root pointer never changes,
+	l.addRef(c.preCell)                       // so SafeRead(First) is a plain counted copy
+	c.preAux = l.safeRead(l.first.NextAddr()) // Fig 6 line 2
+	c.target = nil                            // Fig 6 line 3
+	c.update()                                // Fig 6 line 4
+}
+
+// Close releases the cursor's references. The cursor must not be used
+// afterwards.
+func (c *Cursor[T]) Close() {
+	l := c.list
+	l.release(c.preCell)
+	l.release(c.preAux)
+	l.release(c.target)
+	c.preCell, c.preAux, c.target = nil, nil, nil
+}
+
+// End reports whether the cursor is visiting the distinguished end-of-list
+// position (target = Last, §3).
+func (c *Cursor[T]) End() bool { return c.target == c.list.last }
+
+// Item returns the item of the cell the cursor is visiting. It must not be
+// called at the end-of-list position. Thanks to cell persistence (§2.2)
+// Item remains readable even after the cell has been deleted from the list.
+func (c *Cursor[T]) Item() T { return c.target.Item }
+
+// Target returns the cell the cursor is visiting. Exposed for structural
+// tests and for building higher-level structures (e.g. the skip list's
+// level descent).
+func (c *Cursor[T]) Target() *mm.Node[T] { return c.target }
+
+// PreCell returns the cursor's pre_cell pointer: the cell from which the
+// cursor last advanced (or the First dummy after a Reset). After a search
+// that stopped at the first item ≥ some key, PreCell is the closest
+// preceding cell — which is how the skip list obtains the node to descend
+// from. The returned cell is kept alive by the cursor's reference; callers
+// that need it beyond the cursor's lifetime must AddRef it first.
+func (c *Cursor[T]) PreCell() *mm.Node[T] { return c.preCell }
+
+// OnDeleted reports whether the visited cell has been deleted from the
+// list by some process. Traversal past a deleted cell still works: its
+// next pointer is kept intact until the cell is reclaimed.
+func (c *Cursor[T]) OnDeleted() bool {
+	return c.target != c.list.last && c.target.Deleted()
+}
+
+// Valid reports whether the cursor is currently valid (pre_aux.next =
+// target, §3). A valid cursor may be invalidated at any moment by a
+// concurrent operation; the TryInsert/TryDelete Compare&Swap is the only
+// authoritative validity test.
+func (c *Cursor[T]) Valid() bool { return c.preAux.Next() == c.target }
+
+// Update revalidates the cursor, implementing Update (Figure 5): it walks
+// from pre_aux over any chain of auxiliary nodes, removing pairs of
+// adjacent auxiliary nodes it encounters, and lands target on the next
+// normal cell (or Last).
+func (c *Cursor[T]) Update() { c.update() }
+
+func (c *Cursor[T]) update() {
+	l := c.list
+	if c.preAux.Next() == c.target { // Fig 5 line 1: already valid
+		return
+	}
+	p := c.preAux                  // refs: cursor's pre_aux reference transfers to p
+	n := l.safeRead(p.NextAddr())  // Fig 5 line 4
+	l.release(c.target)            // Fig 5 line 5
+	for n != l.last && n.IsAux() { // Fig 5 line 6
+		// Fig 5 line 7: two adjacent auxiliary nodes — try to unlink the
+		// first by swinging pre_cell's next past it. If pre_cell has
+		// itself been deleted this swing is harmless: it updates a cell
+		// that is no longer reachable from the list.
+		l.maybeYield()
+		if !l.noAuxRemoval && c.preCell.CASNext(p, n) {
+			l.addRef(n)  // refs: new link pre_cell→n
+			l.release(p) // refs: dropped link pre_cell→p
+			l.stats.addAuxRemovals(1)
+		}
+		l.release(p)                 // Fig 5 line 8: our traversal reference
+		p = n                        // Fig 5 line 9
+		n = l.safeRead(p.NextAddr()) // Fig 5 line 10
+		l.stats.addAuxSkips(1)
+	}
+	c.preAux = p // Fig 5 line 11
+	c.target = n // Fig 5 line 12
+}
+
+// Next advances the cursor to the next position, implementing Next
+// (Figure 7). It returns false if the cursor is already at the end-of-list
+// position and cannot be advanced.
+func (c *Cursor[T]) Next() bool {
+	l := c.list
+	if c.target == l.last { // Fig 7 lines 1-2
+		return false
+	}
+	l.addRef(c.target)   // Fig 7 line 4: SafeRead(c.target) duplicates a held reference
+	l.release(c.preCell) // Fig 7 line 3
+	c.preCell = c.target
+	next := l.safeRead(c.target.NextAddr()) // Fig 7 line 6
+	l.release(c.preAux)                     // Fig 7 line 5
+	c.preAux = next
+	c.update() // Fig 7 line 7
+	return true
+}
+
+// TryInsert attempts to insert the normal cell q, followed by the
+// auxiliary node a, at the position visited by the cursor (Figure 9;
+// see Figure 8 for the resulting shape: pre_aux → q → a → target).
+// It returns false, without inserting, if the cursor has become invalid;
+// the caller should Update the cursor, re-establish its position, and
+// retry with the same two cells.
+//
+// q must be a KindCell with its Item set; a must be a KindAux. Both remain
+// owned by the caller until an attempt succeeds: on success the caller's
+// allocation references still stand and should be dropped with
+// ReleaseNodes (or kept, if the caller wants to pin the cells).
+func (c *Cursor[T]) TryInsert(q, a *mm.Node[T]) bool {
+	l := c.list
+	if q.Next() != a { // Fig 9 line 1 (idempotent across retries)
+		q.StoreNext(a)
+		l.addRef(a) // refs: link q→a
+	}
+	if old := a.Next(); old != c.target { // Fig 9 line 2 (retarget on retry)
+		l.addRef(c.target) // refs: link a→target
+		a.StoreNext(c.target)
+		l.release(old) // refs: dropped link a→old target (no-op first time)
+	}
+	l.maybeYield()
+	if c.preAux.CASNext(c.target, q) { // Fig 9 line 3
+		l.addRef(q)         // refs: new link pre_aux→q
+		l.release(c.target) // refs: dropped link pre_aux→target
+		return true
+	}
+	return false
+}
+
+// TryDelete attempts to delete the cell visited by the cursor
+// (Figure 10). It returns false if the cursor has become invalid (or is at
+// the end-of-list position); the caller should Update and retry.
+//
+// On success the cell is unlinked and its back_link is set to pre_cell;
+// the bulk of the work is then removing the "extra" auxiliary node the
+// deletion leaves behind, chasing back_links to a cell still in the list
+// (lines 7–11), collapsing any chain of auxiliary nodes (lines 12–16), and
+// swinging that cell's next past the chain (lines 17–21).
+func (c *Cursor[T]) TryDelete() bool {
+	m := c.list.manager
+	d := c.target // Fig 10 line 1 (borrow the cursor's reference)
+	if d == c.list.last {
+		return false
+	}
+	// Fig 10 line 2. The paper reads d.next plainly; we use SafeRead so
+	// that the reference accounting below is uniform. Note the read may be
+	// stale by the time of the Compare&Swap (d.next moves when an Update
+	// collapses auxiliary nodes after d); installing the older auxiliary
+	// node is benign because bypassed auxiliary nodes keep pointing into
+	// the list, and the chain collapse below removes the slack.
+	n := m.SafeRead(d.NextAddr())
+	c.list.maybeYield()
+	if !c.preAux.CASNext(d, n) { // Fig 10 line 3
+		m.Release(n)
+		return false // Fig 10 lines 4-5
+	}
+	m.AddRef(n)  // refs: new link pre_aux→n
+	m.Release(d) // refs: dropped link pre_aux→d
+
+	m.AddRef(c.preCell)
+	d.StoreBackLink(c.preCell) // Fig 10 line 6 (the stored pointer is counted)
+
+	// Fig 10 lines 7-11: walk back_links to a cell still in the list.
+	p := c.preCell
+	m.AddRef(p) // refs: private copy; the cursor keeps its own pre_cell reference
+	for {
+		q := m.SafeRead(p.BackLinkAddr()) // Fig 10 line 9
+		if q == nil {                     // Fig 10 line 8
+			break
+		}
+		m.Release(p) // Fig 10 line 10
+		p = q        // Fig 10 line 11
+		c.list.stats.addBacklinkSteps(1)
+	}
+
+	s := m.SafeRead(p.NextAddr()) // Fig 10 line 12
+
+	// Fig 10 lines 13-16: advance n to the last auxiliary node of the
+	// chain (stop when the node after n is a normal cell).
+	for {
+		after := n.Next()
+		if after == nil || after.IsNormal() {
+			break
+		}
+		q := m.SafeRead(n.NextAddr()) // Fig 10 line 14
+		m.Release(n)                  // Fig 10 line 15
+		n = q                         // Fig 10 line 16
+		c.list.stats.addChainSteps(1)
+	}
+
+	// Fig 10 lines 17-21: swing p.next past the auxiliary chain. Stop on
+	// success, or when p has itself been deleted (its deleter's back_link
+	// walk takes over), or when the chain has been extended by another
+	// deletion (that deleter's collapse takes over).
+	for {
+		m2 := c.list
+		m2.maybeYield()
+		if p.CASNext(s, n) { // Fig 10 line 17
+			m.AddRef(n)  // refs: new link p→n
+			m.Release(s) // refs: dropped link p→s
+			break
+		}
+		if p.BackLink() != nil {
+			break
+		}
+		if after := n.Next(); after != nil && after.IsAux() {
+			break
+		}
+		m.Release(s)                 // Fig 10 line 19
+		s = m.SafeRead(p.NextAddr()) // Fig 10 line 20
+		c.list.stats.addDeleteCASRetries(1)
+	}
+	m.Release(p) // Fig 10 line 22
+	m.Release(s) // Fig 10 line 23
+	m.Release(n) // Fig 10 line 24
+	return true  // Fig 10 line 25
+}
+
+// AllocInsertNodes allocates the cell-and-auxiliary-node pair TryInsert
+// needs, with the cell's item set. It returns nil, nil when the manager's
+// capacity is exhausted.
+func (l *List[T]) AllocInsertNodes(item T) (q, a *mm.Node[T]) {
+	q = l.manager.Alloc()
+	if q == nil {
+		return nil, nil
+	}
+	a = l.manager.Alloc()
+	if a == nil {
+		l.manager.Release(q)
+		return nil, nil
+	}
+	q.SetKind(mm.KindCell)
+	q.Item = item
+	a.SetKind(mm.KindAux)
+	return q, a
+}
+
+// ReleaseNodes drops the caller's allocation references on nodes obtained
+// from AllocInsertNodes, after a successful insertion (the list's links now
+// keep them alive) or when abandoning an insertion.
+func (l *List[T]) ReleaseNodes(nodes ...*mm.Node[T]) {
+	for _, n := range nodes {
+		l.manager.Release(n)
+	}
+}

@@ -1,0 +1,223 @@
+// Package core implements the paper's primary contribution (§3): a
+// non-blocking singly-linked list manipulated with single-word
+// Compare&Swap, supporting concurrent traversal, insertion and deletion at
+// arbitrary positions through cursors.
+//
+// The data structure follows Figure 4: normal cells carrying items are
+// separated by auxiliary nodes (cells with only a next field), and the list
+// is delimited by two dummy cells, First and Last. Every normal cell has an
+// auxiliary node as predecessor and successor; chains of adjacent auxiliary
+// nodes may appear transiently while deletions are in progress and are
+// collapsed by Update and TryDelete (§3's final argument shows they vanish
+// once all deletions complete — TestAuxChainsCollapse reproduces it).
+//
+// All memory is obtained from an mm.Manager, so the same algorithm text
+// runs both under the paper's reference-count scheme (mm.RC) and under the
+// Go garbage collector (mm.GC). Reference-count bookkeeping beyond the
+// paper's pseudocode is marked with "refs:" comments; under mm.GC those
+// calls are no-ops.
+//
+// # Traversal past deleted cells rejoins at an unspecified position
+//
+// Cell persistence (§2.2) lets a cursor parked on a deleted cell keep
+// traversing through the cell's preserved next pointer. A consequence of
+// the paper's cleanup strategy worth knowing: auxiliary nodes are
+// position-agnostic connective tissue, and TryDelete's chain collapse
+// (Figure 10 line 17) reuses the auxiliary node at the end of a chain in
+// place. If every cell in a region is deleted, an auxiliary node that once
+// sat late in the list can end up as, say, the head auxiliary. A cursor
+// whose frozen path runs through such a node therefore rejoins the live
+// list at an arbitrary — possibly earlier — position and may revisit items
+// it has already seen. Keyed searches (Figure 11) are unaffected: they
+// simply re-walk forward and land at the correct place, and the
+// TryInsert/TryDelete Compare&Swap guards keep every update linearizable.
+// But a raw cursor sweep over a list under concurrent churn is NOT
+// guaranteed to visit keys monotonically; ordered iteration at the
+// dictionary layer filters for monotonicity (see dict.SortedList.Range).
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"valois/internal/mm"
+)
+
+// List is a shared singly-linked list (Figure 4). The zero value is not
+// usable; construct with New.
+type List[T any] struct {
+	manager mm.Manager[T]
+	gc      bool        // manager is mm.GC: SafeRead/Release/AddRef are no-ops
+	first   *mm.Node[T] // dummy First cell; root pointer, never changes
+	last    *mm.Node[T] // dummy Last cell; root pointer, never changes
+	stats   *Counters   // nil unless EnableStats was called
+
+	yield        func() // see SetYieldHook / EnableTorture
+	noAuxRemoval bool   // see DisableAuxRemoval
+}
+
+// The traversal loop runs a handful of nanoseconds per hop, so the no-op
+// memory-management calls of the GC manager are not left to dynamic
+// dispatch: the list detects mm.GC at construction and branches around
+// them. Under mm.RC the interface calls proceed as written.
+
+func (l *List[T]) safeRead(p *atomic.Pointer[mm.Node[T]]) *mm.Node[T] {
+	if l.gc {
+		return p.Load()
+	}
+	return l.manager.SafeRead(p)
+}
+
+func (l *List[T]) release(n *mm.Node[T]) {
+	if !l.gc {
+		l.manager.Release(n)
+	}
+}
+
+func (l *List[T]) addRef(n *mm.Node[T]) {
+	if !l.gc {
+		l.manager.AddRef(n)
+	}
+}
+
+// New builds an empty list: the two dummy cells separated by a single
+// auxiliary node (Figure 4). The manager supplies and reclaims all cells.
+func New[T any](manager mm.Manager[T]) *List[T] {
+	first := manager.Alloc()
+	aux := manager.Alloc()
+	last := manager.Alloc()
+	first.SetKind(mm.KindFirst)
+	aux.SetKind(mm.KindAux)
+	last.SetKind(mm.KindLast)
+
+	aux.StoreNext(last)
+	manager.AddRef(last) // refs: link aux→last
+	first.StoreNext(aux)
+	manager.AddRef(aux)  // refs: link first→aux
+	manager.Release(aux) // refs: drop the allocation reference; the list link remains
+
+	// The allocation references of first and last are retained as the
+	// list's root references and dropped by Close.
+	_, isGC := manager.(*mm.GC[T])
+	return &List[T]{manager: manager, gc: isGC, first: first, last: last}
+}
+
+// Manager returns the memory manager the list allocates from.
+func (l *List[T]) Manager() mm.Manager[T] { return l.manager }
+
+// EnableStats attaches work counters to the list (experiments E3–E6). It
+// must be called before the list is shared between goroutines.
+func (l *List[T]) EnableStats() *Counters {
+	if l.stats == nil {
+		l.stats = &Counters{}
+	}
+	return l.stats
+}
+
+// Stats returns the list's counters, or nil if EnableStats was not called.
+func (l *List[T]) Stats() *Counters { return l.stats }
+
+// SetYieldHook installs a function invoked at every structural
+// Compare&Swap site (the read-position-then-swing windows of Figures 5,
+// 9, and 10). The deterministic schedule explorer (internal/sched) uses
+// it to take control of interleaving; EnableTorture uses it to randomize
+// interleaving. Must be called before the list is shared; nil (the
+// default) disables it.
+func (l *List[T]) SetYieldHook(f func()) {
+	l.yield = f
+}
+
+// EnableTorture makes every period-th structural Compare&Swap yield the
+// processor first. On a single-CPU host, operations otherwise run
+// quasi-serially and the contention the amortized analysis of §4.1 talks
+// about almost never materializes; the yield opens the
+// read-position-then-Compare&Swap window so concurrent operations actually
+// interleave. For tests and the work-measurement experiments (E3, E4)
+// only; it must be called before the list is shared, and a period of zero
+// (the default) disables it.
+func (l *List[T]) EnableTorture(period uint32) {
+	if period == 0 {
+		l.yield = nil
+		return
+	}
+	var ctr atomic.Uint32
+	l.yield = func() {
+		if ctr.Add(1)%period == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// DisableAuxRemoval turns off Update's removal of adjacent auxiliary
+// pairs (Figure 5 line 7), leaving chain cleanup entirely to TryDelete's
+// collapse (Figure 10 lines 17–21). Exists for the A2 ablation
+// experiment, which quantifies how much that design choice contributes;
+// must be called before the list is shared.
+func (l *List[T]) DisableAuxRemoval() { l.noAuxRemoval = true }
+
+// maybeYield runs the yield hook; called before structural CASes.
+func (l *List[T]) maybeYield() {
+	if l.yield != nil {
+		l.yield()
+	}
+}
+
+// First returns the dummy head cell. Exposed for tests and structural
+// checks; applications use cursors.
+func (l *List[T]) First() *mm.Node[T] { return l.first }
+
+// Last returns the dummy tail cell.
+func (l *List[T]) Last() *mm.Node[T] { return l.last }
+
+// NewCursor returns a cursor visiting the first item of the list (or the
+// end-of-list position if the list is empty), per §2.1: "When a new cursor
+// is created, it is visiting the first item in the list."
+func (l *List[T]) NewCursor() *Cursor[T] {
+	c := &Cursor[T]{list: l}
+	c.Reset()
+	return c
+}
+
+// CursorAt returns a cursor positioned at the first normal cell at or
+// after the given cell, which must belong to this list and be safely held
+// by the caller (a counted reference under mm.RC). The cell may have been
+// deleted: its next pointer is preserved (§2.2), so the cursor lands on
+// the closest live position after it. Higher-level structures use this to
+// resume a search from a known vantage point — the skip list descends a
+// level this way.
+func (l *List[T]) CursorAt(n *mm.Node[T]) *Cursor[T] {
+	c := &Cursor[T]{list: l}
+	m := l.manager
+	c.preCell = n
+	m.AddRef(n)
+	c.preAux = m.SafeRead(n.NextAddr())
+	c.target = nil
+	c.update()
+	return c
+}
+
+// Close releases the list's root references. Under mm.RC this reclaims
+// every cell still in the list (the release of First cascades down the
+// chain of counted links); it must only be called once all cursors have
+// been closed and no operations are in flight.
+func (l *List[T]) Close() {
+	l.manager.Release(l.first)
+	l.manager.Release(l.last)
+	l.first = nil
+	l.last = nil
+}
+
+// Len counts the items currently in the list by traversing it with a
+// cursor. It is linear and, under concurrent updates, only a snapshot.
+func (l *List[T]) Len() int {
+	c := l.NewCursor()
+	defer c.Close()
+	n := 0
+	for !c.End() {
+		n++
+		if !c.Next() {
+			break
+		}
+	}
+	return n
+}

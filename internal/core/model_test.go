@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"valois/internal/mm"
+)
+
+// TestSequentialModelProperty drives a list and a plain-slice model with
+// the same random positional operation sequence under a single goroutine;
+// their contents must agree after every step. This pins down the
+// sequential semantics of the §3 operations: insertion precedes the
+// visited position and deletion removes the visited item.
+func TestSequentialModelProperty(t *testing.T) {
+	type step struct {
+		op  uint8 // 0 insert, 1 delete, 2 no-op traversal
+		pos uint8
+		val int
+	}
+	run := func(seed int64, mode string) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var m mm.Manager[int]
+		if mode == "gc" {
+			m = mm.NewGC[int]()
+		} else {
+			m = mm.NewRC[int]()
+		}
+		l := New(m)
+		var model []int
+		steps := 200
+		for i := 0; i < steps; i++ {
+			s := step{op: uint8(rng.Intn(3)), pos: uint8(rng.Intn(16)), val: rng.Int()}
+			c := l.NewCursor()
+			pos := int(s.pos)
+			if n := len(model); n > 0 {
+				pos %= n + 1 // n+1 cursor positions, including end-of-list
+			} else {
+				pos = 0
+			}
+			for j := 0; j < pos; j++ {
+				c.Next()
+			}
+			switch s.op {
+			case 0:
+				q, a := l.AllocInsertNodes(s.val)
+				if !c.TryInsert(q, a) {
+					return false // sequential operation must not fail
+				}
+				l.ReleaseNodes(q, a)
+				model = append(model[:pos:pos], append([]int{s.val}, model[pos:]...)...)
+			case 1:
+				if pos == len(model) {
+					if c.TryDelete() {
+						return false // deleting the end position must fail
+					}
+				} else {
+					if !c.TryDelete() {
+						return false
+					}
+					model = append(model[:pos:pos], model[pos+1:]...)
+				}
+			default:
+				for !c.End() {
+					c.Next()
+				}
+			}
+			c.Close()
+			if !equalItems(l.Items(), model) {
+				t.Logf("seed %d step %d: list %v, model %v", seed, i, l.Items(), model)
+				return false
+			}
+		}
+		if err := l.CheckQuiescent(); err != nil {
+			t.Log(err)
+			return false
+		}
+		if rc, ok := m.(*mm.RC[int]); ok {
+			l.Close()
+			if rc.Stats().Live() != 0 {
+				t.Logf("seed %d: %d cells leaked", seed, rc.Stats().Live())
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(func(seed int64) bool { return run(seed, "gc") }, cfg); err != nil {
+		t.Errorf("gc: %v", err)
+	}
+	if err := quick.Check(func(seed int64) bool { return run(seed, "rc") }, cfg); err != nil {
+		t.Errorf("rc: %v", err)
+	}
+}

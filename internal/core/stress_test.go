@@ -1,0 +1,359 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"valois/internal/mm"
+)
+
+// stressParams shrink automatically under -short.
+func stressIters(t *testing.T, n int) int {
+	if testing.Short() {
+		return n / 10
+	}
+	return n
+}
+
+func runStress(t *testing.T, m mm.Manager[int], goroutines, iters int) (inserted, deleted int64, l *List[int]) {
+	t.Helper()
+	l = New(m)
+	l.EnableStats()
+	var (
+		wg        sync.WaitGroup
+		insertals atomic.Int64
+		deletions atomic.Int64
+	)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			c := l.NewCursor()
+			defer c.Close()
+			for i := 0; i < iters; i++ {
+				switch rng.Intn(3) {
+				case 0: // insert at a random position, retrying per Fig 12
+					c.Reset()
+					for steps := rng.Intn(8); steps > 0 && !c.End(); steps-- {
+						c.Next()
+					}
+					q, a := l.AllocInsertNodes(int(seed)*1_000_000 + i)
+					for !c.TryInsert(q, a) {
+						l.Stats().AddInsertRetries(1)
+						c.Update()
+					}
+					l.ReleaseNodes(q, a)
+					insertals.Add(1)
+				case 1: // delete the cell at a random position, if any
+					c.Reset()
+					for steps := rng.Intn(8); steps > 0 && !c.End(); steps-- {
+						c.Next()
+					}
+					if c.End() {
+						continue
+					}
+					if c.TryDelete() {
+						deletions.Add(1)
+					} else {
+						l.Stats().AddDeleteRetries(1)
+					}
+				default: // traverse, touching every item
+					c.Reset()
+					for !c.End() {
+						_ = c.Item()
+						if !c.Next() {
+							break
+						}
+					}
+				}
+			}
+		}(int64(g + 1))
+	}
+	wg.Wait()
+	return insertals.Load(), deletions.Load(), l
+}
+
+func TestConcurrentStress(t *testing.T) {
+	const goroutines = 8
+	iters := stressIters(t, 3000)
+	t.Run("gc", func(t *testing.T) {
+		ins, del, l := runStress(t, mm.NewGC[int](), goroutines, iters)
+		if got, want := int64(l.Len()), ins-del; got != want {
+			t.Fatalf("Len = %d, want inserted-deleted = %d", got, want)
+		}
+		if err := l.CheckQuiescent(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("rc", func(t *testing.T) {
+		m := mm.NewRC[int]()
+		ins, del, l := runStress(t, m, goroutines, iters)
+		n := int64(l.Len())
+		if want := ins - del; n != want {
+			t.Fatalf("Len = %d, want inserted-deleted = %d", n, want)
+		}
+		if err := l.CheckQuiescent(); err != nil {
+			t.Fatal(err)
+		}
+		// Leak check: at quiescence the live cells are exactly the two
+		// dummies, one auxiliary per position boundary, and a cell and
+		// an auxiliary per item: 3 + 2n.
+		if live, want := m.Stats().Live(), 3+2*n; live != want {
+			t.Fatalf("live cells = %d, want %d (list of %d items)", live, want, n)
+		}
+		l.Close()
+		if live := m.Stats().Live(); live != 0 {
+			t.Fatalf("live cells after Close = %d, want 0", live)
+		}
+	})
+}
+
+func TestConcurrentDeleteAll(t *testing.T) {
+	// All goroutines race to delete every item of a prefilled list: the
+	// heaviest exercise of back_link walks and auxiliary-chain collapse
+	// (Figure 10 lines 7-21). Afterwards the list must be empty and, per
+	// the theorem closing §3, contain no extra auxiliary nodes.
+	const items = 300
+	for _, mode := range []string{"gc", "rc"} {
+		t.Run(mode, func(t *testing.T) {
+			var m mm.Manager[int]
+			if mode == "gc" {
+				m = mm.NewGC[int]()
+			} else {
+				m = mm.NewRC[int]()
+			}
+			l := New(m)
+			l.EnableStats()
+			c := l.NewCursor()
+			for i := 0; i < items; i++ {
+				q, a := l.AllocInsertNodes(i)
+				for !c.TryInsert(q, a) {
+					c.Update()
+				}
+				l.ReleaseNodes(q, a)
+			}
+			c.Close()
+
+			var (
+				wg      sync.WaitGroup
+				deleted atomic.Int64
+			)
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					c := l.NewCursor()
+					defer c.Close()
+					for {
+						c.Reset()
+						if c.End() {
+							return
+						}
+						for !c.End() {
+							if c.TryDelete() {
+								deleted.Add(1)
+							}
+							c.Update()
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if got := deleted.Load(); got != items {
+				t.Fatalf("deleted %d items, want %d", got, items)
+			}
+			if got := l.Len(); got != 0 {
+				t.Fatalf("Len = %d after delete-all, want 0", got)
+			}
+			if err := l.CheckQuiescent(); err != nil {
+				t.Fatal(err)
+			}
+			if rc, ok := m.(*mm.RC[int]); ok {
+				if live := rc.Stats().Live(); live != 3 {
+					t.Fatalf("live cells = %d, want 3 (empty list)", live)
+				}
+			}
+		})
+	}
+}
+
+func TestBacklinkWalkIsExercised(t *testing.T) {
+	// Deleting a cell whose pre_cell has itself been deleted forces the
+	// back_link walk of Figure 10 lines 7-11; the counters must see it.
+	m := mm.NewGC[int]()
+	l := New(m)
+	l.EnableStats()
+	c := l.NewCursor()
+	for i := 3; i >= 1; i-- {
+		q, a := l.AllocInsertNodes(i)
+		if !c.TryInsert(q, a) {
+			t.Fatal("setup insert failed")
+		}
+		l.ReleaseNodes(q, a)
+		c.Update()
+	}
+	c.Close()
+
+	cB := l.NewCursor()
+	cB.Next() // at 2; pre_cell = 1
+	cC := l.NewCursor()
+	cC.Next()
+	cC.Next() // at 3; pre_cell = 2
+	if !cB.TryDelete() {
+		t.Fatal("delete 2 failed")
+	}
+	if !cC.TryDelete() { // pre_cell 2 is deleted: must walk its back_link
+		t.Fatal("delete 3 failed")
+	}
+	cB.Close()
+	cC.Close()
+	if got := l.Stats().Snapshot().BacklinkSteps; got < 1 {
+		t.Fatalf("BacklinkSteps = %d, want ≥ 1", got)
+	}
+	if err := l.CheckQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuxChainCollapse(t *testing.T) {
+	// White-box reproduction of the theorem at the end of §3: a chain of
+	// auxiliary nodes (here injected by hand, as two stalled TryDeletes
+	// would leave it) is removed by the first Update that walks it.
+	for _, mode := range []string{"gc", "rc"} {
+		t.Run(mode, func(t *testing.T) {
+			var m mm.Manager[int]
+			if mode == "gc" {
+				m = mm.NewGC[int]()
+			} else {
+				m = mm.NewRC[int]()
+			}
+			l := New(m)
+			c := l.NewCursor()
+			q, a := l.AllocInsertNodes(5)
+			if !c.TryInsert(q, a) {
+				t.Fatal("setup insert failed")
+			}
+			l.ReleaseNodes(q, a)
+			c.Close()
+
+			// Inject two auxiliary nodes between the head auxiliary and
+			// the cell: first → aux → x1 → x2 → cell5 → aux → last.
+			cell := l.first.Next().Next()
+			if cell.Kind() != mm.KindCell {
+				t.Fatal("setup: expected a cell after the head auxiliary")
+			}
+			headAux := l.first.Next()
+			inject := func(before *mm.Node[int]) {
+				x := m.Alloc()
+				x.SetKind(mm.KindAux)
+				next := before.Next()
+				x.StoreNext(next)
+				m.AddRef(next) // link x→next
+				if !before.CASNext(next, x) {
+					t.Fatal("setup CAS failed")
+				}
+				m.AddRef(x)     // link before→x
+				m.Release(next) // dropped link before→next
+				m.Release(x)    // allocation reference
+			}
+			inject(headAux)
+			inject(headAux)
+
+			if err := l.CheckQuiescent(); err == nil {
+				t.Fatal("expected CheckQuiescent to reject the injected auxiliary chain")
+			}
+
+			stats := l.EnableStats()
+			c = l.NewCursor() // Reset runs Update, which must collapse the chain
+			if got := c.Item(); got != 5 {
+				t.Fatalf("cursor item = %d, want 5", got)
+			}
+			c.Close()
+			if err := l.CheckQuiescent(); err != nil {
+				t.Fatalf("auxiliary chain not collapsed: %v", err)
+			}
+			s := stats.Snapshot()
+			if s.AuxSkips == 0 || s.AuxRemovals == 0 {
+				t.Fatalf("stats = %+v, want aux skips and removals recorded", s)
+			}
+			if rc, ok := m.(*mm.RC[int]); ok {
+				// first, aux, cell, aux, last = 5 live cells; the two
+				// injected auxiliaries must have been reclaimed.
+				if live := rc.Stats().Live(); live != 5 {
+					t.Fatalf("live = %d, want 5", live)
+				}
+			}
+		})
+	}
+}
+
+func TestTryDeleteAdvancesOverAuxChain(t *testing.T) {
+	// Force TryDelete's chain scan (Fig 10 lines 13-16): inject an extra
+	// auxiliary node after the deleted cell's successor auxiliary, as a
+	// concurrent deletion stalled mid-cleanup would leave it.
+	for _, mode := range []string{"gc", "rc"} {
+		t.Run(mode, func(t *testing.T) {
+			var m mm.Manager[int]
+			if mode == "gc" {
+				m = mm.NewGC[int]()
+			} else {
+				m = mm.NewRC[int]()
+			}
+			l := New(m)
+			l.EnableStats()
+			c := l.NewCursor()
+			for _, v := range []int{2, 1} { // list [1 2]
+				c.Reset()
+				q, a := l.AllocInsertNodes(v)
+				if !c.TryInsert(q, a) {
+					t.Fatal("setup insert failed")
+				}
+				l.ReleaseNodes(q, a)
+			}
+			c.Close()
+
+			// aux1 is the auxiliary after cell 1; inject x between aux1
+			// and cell 2 so deleting 1 sees a chain aux1 -> x.
+			cell1 := l.first.Next().Next()
+			aux1 := cell1.Next()
+			if !aux1.IsAux() {
+				t.Fatal("setup: expected auxiliary after cell 1")
+			}
+			x := m.Alloc()
+			x.SetKind(mm.KindAux)
+			next := aux1.Next()
+			x.StoreNext(next)
+			m.AddRef(next)
+			if !aux1.CASNext(next, x) {
+				t.Fatal("setup CAS failed")
+			}
+			m.AddRef(x)
+			m.Release(next)
+			m.Release(x)
+
+			del := l.NewCursor() // at cell 1
+			if !del.TryDelete() {
+				t.Fatal("delete failed")
+			}
+			del.Close()
+			if got := l.Stats().Snapshot().ChainSteps; got < 1 {
+				t.Fatalf("ChainSteps = %d, want ≥ 1", got)
+			}
+			if err := l.CheckQuiescent(); err != nil {
+				t.Fatal(err)
+			}
+			if items := l.Items(); len(items) != 1 || items[0] != 2 {
+				t.Fatalf("items = %v, want [2]", items)
+			}
+			if rc, ok := m.(*mm.RC[int]); ok {
+				l.Close()
+				if live := rc.Stats().Live(); live != 0 {
+					t.Fatalf("live = %d after Close, want 0", live)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,33 @@
+// Package dict implements the paper's dictionary abstract data type (§4):
+// "a collection of items which are distinguished by distinct keys", with
+// the operations Find, Insert, and Delete. Two of the paper's four
+// non-blocking structures live here — the sorted linked list (§4.1,
+// Figures 11–13) and the hash table of sorted lists (§4.1); the skip list
+// and the binary search tree have their own packages (internal/skiplist,
+// internal/bst) but satisfy the same Dictionary interface.
+package dict
+
+import "cmp"
+
+// Dictionary is the §4 concurrent dictionary: a set of key/value items
+// with distinct keys. Implementations in this module are non-blocking and
+// linearizable; all methods are safe for concurrent use.
+type Dictionary[K cmp.Ordered, V any] interface {
+	// Find reports the value stored under key, if any.
+	Find(key K) (V, bool)
+	// Insert adds the item if no item with the same key is present,
+	// reporting whether it inserted. Dictionaries do not replace values:
+	// inserting an existing key returns false, per Figure 12.
+	Insert(key K, value V) bool
+	// Delete removes the item with the given key, reporting whether an
+	// item was removed (Figure 13).
+	Delete(key K) bool
+}
+
+// Entry is the item stored in a dictionary cell: the paper's "key field
+// which contains the unique key for the item stored in the cell" (§4.1)
+// plus the associated value.
+type Entry[K cmp.Ordered, V any] struct {
+	Key   K
+	Value V
+}

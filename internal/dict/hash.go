@@ -1,0 +1,106 @@
+package dict
+
+import (
+	"cmp"
+
+	"valois/internal/core"
+	"valois/internal/mm"
+)
+
+// Hash is the paper's second dictionary structure (§4.1): "a
+// straightforward extension" of the sorted list that hashes each key to
+// one of a fixed number of buckets, each an independent lock-free sorted
+// list. With a hash function that spreads operations evenly, the expected
+// extra work per operation is O(1) — experiment E4 measures this.
+type Hash[K cmp.Ordered, V any] struct {
+	buckets []*SortedList[K, V]
+	hash    func(K) uint64
+}
+
+var _ Dictionary[int, int] = (*Hash[int, int])(nil)
+
+// NewHash returns a hash dictionary with nbuckets buckets using the given
+// hash function. The bucket count is fixed for the structure's lifetime
+// (the paper's structure does not resize). nbuckets must be positive.
+func NewHash[K cmp.Ordered, V any](nbuckets int, mode mm.Mode, hash func(K) uint64) *Hash[K, V] {
+	if nbuckets < 1 {
+		nbuckets = 1
+	}
+	h := &Hash[K, V]{
+		buckets: make([]*SortedList[K, V], nbuckets),
+		hash:    hash,
+	}
+	for i := range h.buckets {
+		h.buckets[i] = NewSortedList[K, V](mode)
+	}
+	return h
+}
+
+func (h *Hash[K, V]) bucket(key K) *SortedList[K, V] {
+	return h.buckets[h.hash(key)%uint64(len(h.buckets))]
+}
+
+// Find reports the value stored under key.
+func (h *Hash[K, V]) Find(key K) (V, bool) { return h.bucket(key).Find(key) }
+
+// Insert adds the item if the key is not present, reporting whether it
+// inserted.
+func (h *Hash[K, V]) Insert(key K, value V) bool { return h.bucket(key).Insert(key, value) }
+
+// Delete removes the item with the given key, reporting whether an item
+// was removed.
+func (h *Hash[K, V]) Delete(key K) bool { return h.bucket(key).Delete(key) }
+
+// Len reports the total number of items across buckets (a snapshot).
+func (h *Hash[K, V]) Len() int {
+	n := 0
+	for _, b := range h.buckets {
+		n += b.Len()
+	}
+	return n
+}
+
+// EnableStats turns on extra-work counters on every bucket.
+func (h *Hash[K, V]) EnableStats() {
+	for _, b := range h.buckets {
+		b.EnableStats()
+	}
+}
+
+// EnableTorture enables interleaving torture on every bucket; see
+// core.List.EnableTorture.
+func (h *Hash[K, V]) EnableTorture(period uint32) {
+	for _, b := range h.buckets {
+		b.EnableTorture(period)
+	}
+}
+
+// DisableBackoff turns off retry backoff on every bucket (ablation A1).
+func (h *Hash[K, V]) DisableBackoff() {
+	for _, b := range h.buckets {
+		b.DisableBackoff()
+	}
+}
+
+// WorkStats sums the extra-work counters across buckets.
+func (h *Hash[K, V]) WorkStats() core.WorkStats {
+	var total core.WorkStats
+	for _, b := range h.buckets {
+		s := b.List().Stats().Snapshot()
+		total.AuxSkips += s.AuxSkips
+		total.AuxRemovals += s.AuxRemovals
+		total.BacklinkSteps += s.BacklinkSteps
+		total.ChainSteps += s.ChainSteps
+		total.DeleteCASRetries += s.DeleteCASRetries
+		total.InsertRetries += s.InsertRetries
+		total.DeleteRetries += s.DeleteRetries
+	}
+	return total
+}
+
+// Close releases every bucket's cells; see SortedList.Close.
+func (h *Hash[K, V]) Close() {
+	for _, b := range h.buckets {
+		b.Close()
+	}
+}

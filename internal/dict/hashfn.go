@@ -1,0 +1,32 @@
+package dict
+
+// Hash functions for the common key types. They are deterministic across
+// processes so experiments are reproducible.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// HashString is 64-bit FNV-1a, suitable for the Hash dictionary's hash
+// parameter with string keys.
+func HashString(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// HashUint64 is the SplitMix64 finalizer, a fast high-quality mixer for
+// integer keys.
+func HashUint64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// HashInt hashes a signed integer key with HashUint64.
+func HashInt(x int) uint64 { return HashUint64(uint64(x)) }

@@ -1,0 +1,185 @@
+package dict
+
+import (
+	"cmp"
+
+	"valois/internal/core"
+	"valois/internal/mm"
+	"valois/internal/primitive"
+)
+
+// SortedList is the paper's first dictionary structure (§4.1): the items
+// are kept in a single lock-free list sorted by key, which makes key
+// uniqueness enforceable with FindFrom (Figure 11) and positions the
+// cursor for insertion in one pass.
+type SortedList[K cmp.Ordered, V any] struct {
+	list      *core.List[Entry[K, V]]
+	noBackoff bool
+}
+
+var _ Dictionary[int, int] = (*SortedList[int, int])(nil)
+
+// NewSortedList returns an empty sorted-list dictionary whose cells come
+// from a fresh manager of the given mode.
+func NewSortedList[K cmp.Ordered, V any](mode mm.Mode) *SortedList[K, V] {
+	return &SortedList[K, V]{list: core.New(mm.NewManager[Entry[K, V]](mode))}
+}
+
+// List exposes the underlying lock-free list for structural checks and
+// work-counter access in tests and benchmarks.
+func (s *SortedList[K, V]) List() *core.List[Entry[K, V]] { return s.list }
+
+// EnableStats turns on the extra-work counters of §4.1's analysis.
+func (s *SortedList[K, V]) EnableStats() *core.Counters { return s.list.EnableStats() }
+
+// EnableTorture forwards to core.List.EnableTorture; see there.
+func (s *SortedList[K, V]) EnableTorture(period uint32) { s.list.EnableTorture(period) }
+
+// DisableBackoff turns off the exponential backoff in the Insert/Delete
+// retry loops (§2.1 recommends backoff for "starvation at high levels of
+// contention"). For the A1 ablation experiment; must be called before the
+// structure is shared.
+func (s *SortedList[K, V]) DisableBackoff() { s.noBackoff = true }
+
+// findFrom implements FindFrom (Figure 11): search onward from the
+// cursor's position for the key, leaving the cursor either on the matching
+// cell (returning true) or on the first cell with a larger key / the
+// end-of-list position (returning false) — which is exactly the insertion
+// point for the key.
+func findFrom[K cmp.Ordered, V any](k K, c *core.Cursor[Entry[K, V]]) bool {
+	for !c.End() { // Fig 11 line 1
+		key := c.Item().Key
+		switch {
+		case key == k: // Fig 11 lines 2-3
+			return true
+		case key > k: // Fig 11 lines 4-5
+			return false
+		default: // Fig 11 line 7
+			c.Next()
+		}
+	}
+	return false // Fig 11 line 8
+}
+
+// Find reports the value stored under key.
+func (s *SortedList[K, V]) Find(key K) (V, bool) {
+	c := s.list.NewCursor()
+	defer c.Close()
+	if !findFrom(key, c) {
+		var zero V
+		return zero, false
+	}
+	// Cell persistence (§2.2) makes this read safe even if the cell is
+	// deleted concurrently; the Find linearizes while the cell was in the
+	// list.
+	return c.Item().Value, true
+}
+
+// Insert implements Insert (Figure 12). It returns false if an item with
+// the key is already present.
+func (s *SortedList[K, V]) Insert(key K, value V) bool {
+	c := s.list.NewCursor() // Fig 12 line 1
+	defer c.Close()
+	q, a := s.list.AllocInsertNodes(Entry[K, V]{Key: key, Value: value}) // Fig 12 lines 2-4
+	if q == nil {
+		return false // capacity exhausted (only with a bounded RC manager)
+	}
+	var backoff primitive.Backoff
+	for {
+		if findFrom(key, c) { // Fig 12 lines 5-7: key already present
+			s.list.ReleaseNodes(q, a)
+			return false
+		}
+		if c.TryInsert(q, a) { // Fig 12 lines 8-10
+			s.list.ReleaseNodes(q, a)
+			return true
+		}
+		s.list.Stats().AddInsertRetries(1)
+		if !s.noBackoff {
+			backoff.Wait() // §2.1: exponential backoff under contention
+		}
+		c.Update() // Fig 12 line 11; the loop re-runs FindFrom, which both
+		// re-checks uniqueness and re-establishes the insertion point
+	}
+}
+
+// Delete implements Delete (Figure 13). It returns false if no item with
+// the key is present.
+func (s *SortedList[K, V]) Delete(key K) bool {
+	c := s.list.NewCursor() // Fig 13 line 1
+	defer c.Close()
+	var backoff primitive.Backoff
+	for {
+		if !findFrom(key, c) { // Fig 13 lines 2-4
+			return false
+		}
+		if c.TryDelete() { // Fig 13 lines 5-7
+			return true
+		}
+		s.list.Stats().AddDeleteRetries(1)
+		if !s.noBackoff {
+			backoff.Wait()
+		}
+		c.Update() // Fig 13 line 8
+	}
+}
+
+// Len reports the number of items, by traversal; under concurrent updates
+// it is only a snapshot.
+func (s *SortedList[K, V]) Len() int { return s.list.Len() }
+
+// Range calls f for each item in strictly ascending key order until f
+// returns false. Items inserted or deleted concurrently may or may not be
+// observed; items present for the whole traversal are observed.
+//
+// The underlying cursor sweep can rejoin the list at an earlier position
+// after traversing cells deleted concurrently (see the internal/core
+// package comment), so Range skips any item whose key is not greater than
+// the last one reported, guaranteeing monotone output.
+func (s *SortedList[K, V]) Range(f func(key K, value V) bool) {
+	c := s.list.NewCursor()
+	defer c.Close()
+	first := true
+	var last K
+	for !c.End() {
+		e := c.Item()
+		if first || e.Key > last {
+			if !f(e.Key, e.Value) {
+				return
+			}
+			first = false
+			last = e.Key
+		}
+		if !c.Next() {
+			return
+		}
+	}
+}
+
+// RangeFrom is Range starting at the first key ≥ start: one FindFrom
+// positions the cursor (Figure 11 leaves it exactly there on a miss) and
+// iteration proceeds with the same monotonicity filter as Range.
+func (s *SortedList[K, V]) RangeFrom(start K, f func(key K, value V) bool) {
+	c := s.list.NewCursor()
+	defer c.Close()
+	findFrom(start, c)
+	first := true
+	var last K
+	for !c.End() {
+		e := c.Item()
+		if e.Key >= start && (first || e.Key > last) {
+			if !f(e.Key, e.Value) {
+				return
+			}
+			first = false
+			last = e.Key
+		}
+		if !c.Next() {
+			return
+		}
+	}
+}
+
+// Close releases the structure's cells. Under an RC manager it must only
+// be called once no operations are in flight.
+func (s *SortedList[K, V]) Close() { s.list.Close() }

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+
+	"valois/internal/dict"
+	"valois/internal/mm"
+	"valois/internal/workload"
+)
+
+// The A-series experiments are ablations of design choices the paper
+// makes in passing: each removes one mechanism and measures what it was
+// buying.
+
+// A1 ablates the exponential backoff of §2.1 ("starvation at high levels
+// of contention is more efficiently handled by techniques such as
+// exponential backoff"): the same hot-key workload with and without
+// backoff in the retry loops.
+func A1(o Options) Table {
+	procs := []int{2, 8, 16}
+	if o.Quick {
+		procs = []int{4}
+	}
+	const keySpace = 16 // hot keys: nearly every operation contends
+
+	t := Table{
+		ID:      "A1",
+		Title:   "ablation: retry backoff on a 16-key contended sorted list",
+		Claim:   `"starvation at high levels of contention is more efficiently handled by techniques such as exponential backoff" (§2.1)`,
+		Columns: []string{"p", "backoff ops/s", "no-backoff ops/s", "backoff retries/op", "no-backoff retries/op"},
+	}
+	run := func(p int, disable bool) (opsPerSec, retriesPerOp float64) {
+		s := dict.NewSortedList[int, int](mm.ModeGC)
+		s.EnableStats()
+		s.EnableTorture(2)
+		if disable {
+			s.DisableBackoff()
+		}
+		cfg := workload.Config{
+			Goroutines: p,
+			Duration:   o.duration(),
+			Mix:        workload.UpdateHeavy(),
+			KeySpace:   keySpace,
+			Prefill:    keySpace / 2,
+			Seed:       o.Seed,
+		}
+		workload.Prefill(cfg, s)
+		s.List().Stats().Reset()
+		res := workload.Run(cfg, s)
+		w := s.List().Stats().Snapshot()
+		return res.OpsPerSec(), float64(w.InsertRetries+w.DeleteRetries) / float64(res.Ops)
+	}
+	for _, p := range procs {
+		withOps, withRetries := run(p, false)
+		withoutOps, withoutRetries := run(p, true)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", p),
+			fmtOps(withOps),
+			fmtOps(withoutOps),
+			fmtF(withRetries),
+			fmtF(withoutRetries),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"backoff trades a little latency on first retry for fewer wasted attempts; the retries/op column shows what it absorbs")
+	return t
+}
+
+// A2 ablates Update's removal of adjacent auxiliary pairs (Figure 5
+// line 7): without it, chain cleanup falls entirely to TryDelete's
+// collapse, and traversals pay for the leftover auxiliary nodes.
+func A2(o Options) Table {
+	const (
+		p        = 8
+		keySpace = 128
+	)
+
+	t := Table{
+		ID:      "A2",
+		Title:   fmt.Sprintf("ablation: Update's auxiliary-pair removal (Fig 5 line 7), p=%d, delete-heavy churn", p),
+		Claim:   `"If two adjacent auxiliary nodes are found in the list, the UPDATE algorithm will remove one of them" (§3)`,
+		Columns: []string{"variant", "ops/s", "aux skips/op", "aux removals/op"},
+	}
+	for _, disable := range []bool{false, true} {
+		s := dict.NewSortedList[int, int](mm.ModeGC)
+		s.EnableStats()
+		s.EnableTorture(2)
+		if disable {
+			s.List().DisableAuxRemoval()
+		}
+		cfg := workload.Config{
+			Goroutines: p,
+			Duration:   o.duration(),
+			Mix:        workload.UpdateHeavy(),
+			KeySpace:   keySpace,
+			Prefill:    keySpace / 2,
+			Seed:       o.Seed,
+		}
+		workload.Prefill(cfg, s)
+		s.List().Stats().Reset()
+		res := workload.Run(cfg, s)
+		w := s.List().Stats().Snapshot()
+		name := "removal on (paper)"
+		if disable {
+			name = "removal off"
+		}
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmtOps(res.OpsPerSec()),
+			fmtF(float64(w.AuxSkips) / float64(res.Ops)),
+			fmtF(float64(w.AuxRemovals) / float64(res.Ops)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"with removal disabled, TryDelete's collapse (Fig 10) still bounds the chains, so the difference is traversal work, not correctness")
+	return t
+}
+
+// A3 ablates the RC manager's arena growth batch: Figure 17 describes a
+// single free list; batching only affects how many cells a grow creates
+// at once, trading allocation smoothness for footprint.
+func A3(o Options) Table {
+	batches := []int{1, 16, 256}
+	if o.Quick {
+		batches = []int{1, 16}
+	}
+	const p = 4
+
+	t := Table{
+		ID:      "A3",
+		Title:   fmt.Sprintf("ablation: RC free-list grow batch size, p=%d churn", p),
+		Claim:   `free-list management per §5.2, Figures 17-18`,
+		Columns: []string{"batch", "pairs/s", "cells created", "leak check"},
+	}
+	for _, b := range batches {
+		m := mm.NewRC[int](mm.WithBatchSize(b))
+		rate, leak := churn(m, p, o.duration(), 64)
+		check := "ok"
+		if leak != 0 {
+			check = fmt.Sprintf("LEAK %d", leak)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", b),
+			fmtOps(rate),
+			fmt.Sprintf("%d", m.Stats().Created),
+			check,
+		})
+	}
+	t.Notes = append(t.Notes,
+		"once the arena matches the working set, all batch sizes converge: the free list itself is the steady-state allocator")
+	return t
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAllExperimentsRunQuick smoke-tests every experiment at reduced
+// scale: each must produce a non-empty, well-formed table.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments take a few seconds even in quick mode")
+	}
+	o := Options{Duration: 20 * time.Millisecond, Quick: true, Seed: 1}
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			table := r.Run(o)
+			if table.ID != r.ID {
+				t.Fatalf("table ID = %q, want %q", table.ID, r.ID)
+			}
+			if len(table.Rows) == 0 {
+				t.Fatal("experiment produced no rows")
+			}
+			for _, row := range table.Rows {
+				if len(row) != len(table.Columns) {
+					t.Fatalf("row %v has %d cells, want %d", row, len(row), len(table.Columns))
+				}
+			}
+			out := table.Format()
+			if !strings.Contains(out, r.ID) || !strings.Contains(out, "claim:") {
+				t.Fatalf("formatted table missing header:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("e3"); !ok {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	if _, ok := Lookup("E42"); ok {
+		t.Fatal("lookup of unknown experiment succeeded")
+	}
+}
+
+func TestFmtOps(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{2_500_000, "2.50M"},
+		{12_300, "12.3k"},
+		{42, "42"},
+	}
+	for _, tt := range tests {
+		if got := fmtOps(tt.in); got != tt.want {
+			t.Errorf("fmtOps(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}

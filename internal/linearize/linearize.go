@@ -1,0 +1,279 @@
+// Package linearize tests the linearizability the paper asserts but does
+// not prove: "We also require our objects to be linearizable [14]; this
+// implies that operations appear to happen atomically at some point
+// during their execution. Proofs that our data structures are
+// linearizable are beyond the scope of this paper, but are
+// straightforward." (§2.1)
+//
+// The package records complete concurrent histories of dictionary
+// operations — each with an invocation and a response timestamp from a
+// shared atomic clock — and then checks, in the style of Wing & Gong's
+// algorithm with Lowe's memoization, whether some sequential order of the
+// operations (a) respects real-time precedence (if op A responded before
+// op B was invoked, A comes first) and (b) is legal for the sequential
+// dictionary specification.
+//
+// Dictionary operations on distinct keys commute, so the checker uses the
+// standard decomposition: a history is linearizable if and only if each
+// per-key subhistory is linearizable against the single-key specification
+// (absent | present(v); Insert succeeds iff absent, Delete succeeds iff
+// present, Find returns the current binding). Per-key subhistories stay
+// small, keeping the exponential search tractable.
+package linearize
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"valois/internal/dict"
+)
+
+// Op identifies a dictionary operation kind.
+type Op uint8
+
+// Operation kinds.
+const (
+	OpFind Op = iota + 1
+	OpInsert
+	OpDelete
+)
+
+// String returns the operation's name.
+func (o Op) String() string {
+	switch o {
+	case OpFind:
+		return "find"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	default:
+		return "invalid"
+	}
+}
+
+// Event is one completed operation in a history.
+type Event struct {
+	Op    Op
+	Key   int
+	Value int  // argument of Insert; result of a successful Find
+	OK    bool // Insert/Delete success, or Find hit
+	Start int64
+	End   int64
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%s(%d)=%v,%d [%d,%d]", e.Op, e.Key, e.OK, e.Value, e.Start, e.End)
+}
+
+// Recorder wraps a dictionary and records a history of the operations
+// performed through it. It is safe for concurrent use; each goroutine
+// should obtain its own Session to avoid contending on one buffer.
+type Recorder struct {
+	d     dict.Dictionary[int, int]
+	clock atomic.Int64
+
+	mu       sync.Mutex
+	sessions []*Session
+}
+
+// NewRecorder wraps d.
+func NewRecorder(d dict.Dictionary[int, int]) *Recorder {
+	return &Recorder{d: d}
+}
+
+// Session is a per-goroutine event buffer with the Dictionary interface.
+type Session struct {
+	r      *Recorder
+	events []Event
+}
+
+var _ dict.Dictionary[int, int] = (*Session)(nil)
+
+// Session returns a recording handle for one goroutine.
+func (r *Recorder) Session() *Session {
+	s := &Session{r: r}
+	r.mu.Lock()
+	r.sessions = append(r.sessions, s)
+	r.mu.Unlock()
+	return s
+}
+
+// Find performs and records a Find.
+func (s *Session) Find(key int) (int, bool) {
+	start := s.r.clock.Add(1)
+	v, ok := s.r.d.Find(key)
+	end := s.r.clock.Add(1)
+	s.events = append(s.events, Event{Op: OpFind, Key: key, Value: v, OK: ok, Start: start, End: end})
+	return v, ok
+}
+
+// Insert performs and records an Insert.
+func (s *Session) Insert(key, value int) bool {
+	start := s.r.clock.Add(1)
+	ok := s.r.d.Insert(key, value)
+	end := s.r.clock.Add(1)
+	s.events = append(s.events, Event{Op: OpInsert, Key: key, Value: value, OK: ok, Start: start, End: end})
+	return ok
+}
+
+// Delete performs and records a Delete.
+func (s *Session) Delete(key int) bool {
+	start := s.r.clock.Add(1)
+	ok := s.r.d.Delete(key)
+	end := s.r.clock.Add(1)
+	s.events = append(s.events, Event{Op: OpDelete, Key: key, OK: ok, Start: start, End: end})
+	return ok
+}
+
+// History returns all recorded events. Call only at quiescence.
+func (r *Recorder) History() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var all []Event
+	for _, s := range r.sessions {
+		all = append(all, s.events...)
+	}
+	return all
+}
+
+// Result reports the outcome of a linearizability check.
+type Result struct {
+	// OK reports whether the whole history is linearizable.
+	OK bool
+	// BadKey is the key whose subhistory failed, when OK is false.
+	BadKey int
+	// BadHistory is that subhistory, sorted by invocation time.
+	BadHistory []Event
+}
+
+// Check verifies the history against the sequential dictionary
+// specification, per key. An empty history is linearizable.
+func Check(history []Event) Result {
+	byKey := make(map[int][]Event)
+	for _, e := range history {
+		byKey[e.Key] = append(byKey[e.Key], e)
+	}
+	keys := make([]int, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys) // deterministic failure reporting
+	for _, k := range keys {
+		sub := byKey[k]
+		sort.Slice(sub, func(i, j int) bool { return sub[i].Start < sub[j].Start })
+		if !checkKey(sub) {
+			return Result{BadKey: k, BadHistory: sub}
+		}
+	}
+	return Result{OK: true}
+}
+
+// keyState is the sequential single-key specification state.
+type keyState struct {
+	present bool
+	value   int
+}
+
+// apply returns the post-state if e is legal in state st, or ok=false.
+func (st keyState) apply(e Event) (keyState, bool) {
+	switch e.Op {
+	case OpFind:
+		if e.OK != st.present {
+			return st, false
+		}
+		if st.present && e.Value != st.value {
+			return st, false
+		}
+		return st, true
+	case OpInsert:
+		if e.OK {
+			if st.present {
+				return st, false
+			}
+			return keyState{present: true, value: e.Value}, true
+		}
+		if !st.present {
+			return st, false // failed insert while absent is illegal
+		}
+		return st, true
+	case OpDelete:
+		if e.OK {
+			if !st.present {
+				return st, false
+			}
+			return keyState{}, true
+		}
+		if st.present {
+			return st, false // failed delete while present is illegal
+		}
+		return st, true
+	default:
+		return st, false
+	}
+}
+
+// checkKey runs the Wing-Gong search with memoization over one key's
+// subhistory (events sorted by Start).
+func checkKey(events []Event) bool {
+	n := len(events)
+	if n == 0 {
+		return true
+	}
+	if n > 63 {
+		// The bitmask memoization caps at 63 events per key; histories
+		// should be generated below that (the tests are).
+		panic("linearize: per-key history too large")
+	}
+	type memoKey struct {
+		done    uint64
+		present bool
+		value   int
+	}
+	seen := make(map[memoKey]bool)
+
+	var dfs func(done uint64, st keyState) bool
+	dfs = func(done uint64, st keyState) bool {
+		if done == uint64(1)<<n-1 {
+			return true
+		}
+		mk := memoKey{done: done, present: st.present, value: st.value}
+		if seen[mk] {
+			return false
+		}
+		seen[mk] = true
+
+		// The earliest response among not-yet-linearized operations
+		// bounds which operations may linearize next: an operation can
+		// only be chosen if it was invoked before every pending
+		// operation's response (otherwise some completed operation would
+		// be ordered after an operation that started after it ended).
+		minEnd := int64(1) << 62
+		for i := 0; i < n; i++ {
+			if done&(1<<i) == 0 && events[i].End < minEnd {
+				minEnd = events[i].End
+			}
+		}
+		for i := 0; i < n; i++ {
+			if done&(1<<i) != 0 {
+				continue
+			}
+			e := events[i]
+			if e.Start > minEnd {
+				// e began after a pending operation finished; that
+				// operation must linearize first. Events are sorted by
+				// Start, so no later candidate qualifies either.
+				break
+			}
+			if next, ok := st.apply(e); ok {
+				if dfs(done|uint64(1)<<i, next) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return dfs(0, keyState{})
+}

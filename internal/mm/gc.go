@@ -1,0 +1,47 @@
+package mm
+
+import "sync/atomic"
+
+// GC is a Manager that delegates reclamation to the Go garbage collector.
+//
+// §5.1 observes that "the ABA problem can only occur if a cell is reused
+// while another process has a pointer to it". A tracing garbage collector
+// enforces precisely this rule for free, so under GC the SafeRead and
+// Release operations reduce to a plain atomic read and a no-op, and cells
+// are ordinary heap objects. This is the mode a Go application would use in
+// production; the RC manager exists to reproduce the paper's own scheme and
+// to quantify its cost (experiment E8).
+type GC[T any] struct {
+	stats stats
+}
+
+var _ Manager[int] = (*GC[int])(nil)
+
+// NewGC returns a garbage-collector-backed manager.
+func NewGC[T any]() *GC[T] {
+	return &GC[T]{}
+}
+
+// Alloc returns a fresh zeroed cell.
+func (m *GC[T]) Alloc() *Node[T] {
+	m.stats.allocs.Add(1)
+	m.stats.created.Add(1)
+	return &Node[T]{}
+}
+
+// SafeRead is a plain atomic load: the collector provides the reuse
+// guarantee that Figure 15 obtains with a reference count.
+func (m *GC[T]) SafeRead(p *atomic.Pointer[Node[T]]) *Node[T] {
+	return p.Load()
+}
+
+// Release is a no-op: unreachable cells are collected automatically.
+func (m *GC[T]) Release(*Node[T]) {}
+
+// AddRef is a no-op: the collector tracks references itself.
+func (m *GC[T]) AddRef(*Node[T]) {}
+
+// Stats returns allocation counters.
+func (m *GC[T]) Stats() Stats {
+	return m.stats.snapshot()
+}

@@ -1,0 +1,36 @@
+package mm
+
+// Mode selects which memory manager a structure allocates its cells from.
+type Mode int
+
+const (
+	// ModeGC relies on the Go garbage collector for reclamation (see GC).
+	ModeGC Mode = iota + 1
+	// ModeRC uses the paper's reference-count scheme (§5; see RC).
+	ModeRC
+)
+
+// String returns the mode's short name as used in benchmark labels.
+func (m Mode) String() string {
+	switch m {
+	case ModeGC:
+		return "gc"
+	case ModeRC:
+		return "rc"
+	default:
+		return "invalid"
+	}
+}
+
+// NewManager returns a fresh manager of the given mode. It panics on an
+// invalid mode, which indicates a programming error at construction time.
+func NewManager[T any](mode Mode) Manager[T] {
+	switch mode {
+	case ModeGC:
+		return NewGC[T]()
+	case ModeRC:
+		return NewRC[T]()
+	default:
+		panic("mm: invalid Mode")
+	}
+}

@@ -1,0 +1,138 @@
+// Package mm implements the memory management scheme of Valois §5: cells
+// with reference counts manipulated through SafeRead and Release
+// (Figures 15 and 16), and a lock-free free list with Alloc and Reclaim
+// (Figures 17 and 18).
+//
+// Two interchangeable managers are provided behind the Manager interface:
+//
+//   - RC is the faithful reproduction: cells live in a type-stable arena,
+//     are recycled through the lock-free free list, and are protected from
+//     premature reuse — and therefore from the ABA problem (§5.1) — by
+//     reference counts.
+//   - GC leans on the Go garbage collector: SafeRead degenerates to an
+//     atomic load and Release to a no-op, because the collector guarantees
+//     a cell's memory is never reused while any process still holds a
+//     pointer to it, which is exactly the property §5.1 derives from the
+//     reference counts.
+//
+// The reference-counting discipline follows the paper with the bookkeeping
+// conventions later formalized by Michael & Scott's correction note:
+//
+//   - every pointer stored in a cell field (next, back_link) counts as one
+//     reference to the pointed-to cell, with the single exception of free
+//     list linkage, which is uncounted (cells on the free list have count
+//     zero apart from transient SafeReads by concurrent allocators);
+//   - Alloc returns a cell whose count already includes the caller's one
+//     private reference;
+//   - reclaiming a cell releases the references held by the pointers still
+//     stored in it, so chains of deleted cells are reclaimed transitively.
+package mm
+
+import "sync/atomic"
+
+// Kind classifies a cell within the list structure of §3. The memory
+// manager itself treats all kinds identically; the field lives on Node so
+// that traversal code can distinguish auxiliary nodes (which consist of
+// "only a next field") from normal cells and from the two dummy cells.
+type Kind uint8
+
+// Cell kinds. The zero value is deliberately invalid so that an
+// uninitialized node is detectable in tests.
+const (
+	KindCell  Kind = iota + 1 // normal cell carrying an item
+	KindAux                   // auxiliary node (§3): only the next field is meaningful
+	KindFirst                 // the First dummy cell (Figure 4)
+	KindLast                  // the Last dummy cell (Figure 4)
+)
+
+// String returns a short human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCell:
+		return "cell"
+	case KindAux:
+		return "aux"
+	case KindFirst:
+		return "first"
+	case KindLast:
+		return "last"
+	default:
+		return "invalid"
+	}
+}
+
+// Node is a cell of the shared list structure (§2.1): a next pointer, the
+// back_link pointer added by §3 for TryDelete, the memory-management fields
+// refct and claim of §5.1, and the application item.
+//
+// All pointer fields must be accessed through the atomic accessors. The
+// Item and kind fields are written only between Alloc and publication of
+// the node, and are immutable afterwards, so they may be read plainly.
+type Node[T any] struct {
+	next     atomic.Pointer[Node[T]]
+	backLink atomic.Pointer[Node[T]]
+	refct    atomic.Int64
+	claim    atomic.Int32
+	kind     Kind
+
+	// Item is the application payload stored in a normal cell. It is
+	// preserved after deletion ("cell persistence", §2.2) until the cell
+	// is reclaimed, so cursors visiting a deleted cell can still read it.
+	Item T
+}
+
+// Next returns the cell's next pointer.
+func (n *Node[T]) Next() *Node[T] { return n.next.Load() }
+
+// StoreNext unconditionally stores next. It must only be used on cells the
+// caller owns exclusively (e.g. a freshly allocated cell before insertion);
+// published cells change their next pointer only through CASNext.
+func (n *Node[T]) StoreNext(next *Node[T]) { n.next.Store(next) }
+
+// CASNext atomically swings the next pointer from old to new, reporting
+// whether it succeeded. This is the Compare&Swap of Figure 1 applied to a
+// next field.
+func (n *Node[T]) CASNext(old, new *Node[T]) bool { return n.next.CompareAndSwap(old, new) }
+
+// NextAddr exposes the address of the next field for SafeRead.
+func (n *Node[T]) NextAddr() *atomic.Pointer[Node[T]] { return &n.next }
+
+// BackLink returns the cell's back_link pointer (§3), which is non-nil
+// exactly when the cell has been deleted from the list.
+func (n *Node[T]) BackLink() *Node[T] { return n.backLink.Load() }
+
+// StoreBackLink sets the back_link pointer (TryDelete, Figure 10 line 6).
+func (n *Node[T]) StoreBackLink(b *Node[T]) { n.backLink.Store(b) }
+
+// CASBackLink atomically swings the back_link pointer from old to new.
+// The binary search tree (§4.2) reuses the back_link field as its deletion
+// descriptor slot, claimed exactly once per cell with this operation.
+func (n *Node[T]) CASBackLink(old, new *Node[T]) bool { return n.backLink.CompareAndSwap(old, new) }
+
+// BackLinkAddr exposes the address of the back_link field for SafeRead.
+func (n *Node[T]) BackLinkAddr() *atomic.Pointer[Node[T]] { return &n.backLink }
+
+// Deleted reports whether the cell has been deleted from the list, which
+// §3 encodes by a non-nil back_link.
+func (n *Node[T]) Deleted() bool { return n.backLink.Load() != nil }
+
+// Kind reports the cell's kind.
+func (n *Node[T]) Kind() Kind { return n.kind }
+
+// SetKind classifies the cell. It must be called between Alloc and
+// publication; the kind of a published cell is immutable.
+func (n *Node[T]) SetKind(k Kind) { n.kind = k }
+
+// IsAux reports whether the cell is an auxiliary node. Update (Figure 5)
+// and TryDelete (Figure 10) use this as the "is not a normal cell" test.
+func (n *Node[T]) IsAux() bool { return n.kind == KindAux }
+
+// IsNormal reports whether the cell is a normal or dummy cell, i.e. the
+// paper's "normal cell" test used to terminate auxiliary-chain scans. The
+// dummy Last cell counts as normal (Figure 5 line 6 treats reaching Last
+// like reaching a normal cell).
+func (n *Node[T]) IsNormal() bool { return n.kind != KindAux }
+
+// RefCount returns the current reference count. It is meaningful only
+// under the RC manager and is exposed for invariant checks in tests.
+func (n *Node[T]) RefCount() int64 { return n.refct.Load() }

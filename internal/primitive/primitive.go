@@ -1,0 +1,90 @@
+// Package primitive provides the single-word atomic synchronization
+// primitives that Valois's algorithms are written in terms of (paper §2.1,
+// Figure 1): Compare&Swap, Test&Set, and Fetch&Add, plus the exponential
+// backoff the paper recommends for contention management (§2.1, citing
+// Huang & Weihl [15]).
+//
+// The paper notes (footnote 1) that Test&Set and Fetch&Add are easily
+// implemented with Compare&Swap; on Go they are all provided directly by
+// sync/atomic with sequentially consistent semantics, which is at least as
+// strong as the primitives the paper assumes. The wrappers here exist to keep
+// the algorithm code a line-by-line transcription of the paper's pseudocode
+// and to give the operations a single documented home.
+package primitive
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// CompareAndSwap is the paper's COMPARE&SWAP (Figure 1): atomically, if *a
+// equals old it stores new and reports true; otherwise it leaves *a unchanged
+// and reports false. The paper uses it exclusively to "swing" pointers.
+func CompareAndSwap[T any](a *atomic.Pointer[T], old, new *T) bool {
+	return a.CompareAndSwap(old, new)
+}
+
+// TestAndSet atomically sets *a to 1 and reports the previous value
+// (paper §2.1). It is used by Release (Figure 16) to arbitrate which of
+// several processes that concurrently saw a cell's reference count reach
+// zero actually reclaims the cell.
+func TestAndSet(a *atomic.Int32) int32 {
+	return a.Swap(1)
+}
+
+// FetchAndAdd atomically adds delta to *a and returns the previous value
+// (paper §2.1). It is used to maintain cell reference counts.
+func FetchAndAdd(a *atomic.Int64, delta int64) int64 {
+	return a.Add(delta) - delta
+}
+
+// spinLimit bounds the number of attempts that busy-wait before backoff
+// starts yielding the processor. On a multiprogrammed machine (and in
+// particular on the single-core reproduction host) pure spinning starves the
+// very process whose progress would release the contended location, so the
+// backoff escalates to runtime.Gosched quickly.
+const spinLimit = 4
+
+// Backoff implements truncated exponential backoff for retry loops
+// (paper §2.1: "starvation at high levels of contention is more efficiently
+// handled by techniques such as exponential backoff"). The zero value is
+// ready to use.
+type Backoff struct {
+	attempt int
+}
+
+// Wait delays the caller for a duration that grows exponentially with the
+// number of times Wait has been called since the last Reset.
+func (b *Backoff) Wait() {
+	if b.attempt < spinLimit {
+		for i := 0; i < 1<<b.attempt; i++ {
+			spin()
+		}
+	} else {
+		n := b.attempt - spinLimit + 1
+		if n > 6 {
+			n = 6
+		}
+		for i := 0; i < n; i++ {
+			runtime.Gosched()
+		}
+	}
+	b.attempt++
+}
+
+// Reset restores the initial (shortest) delay. Call it after a successful
+// operation so the next contention episode starts from a short wait.
+func (b *Backoff) Reset() {
+	b.attempt = 0
+}
+
+// Attempts reports how many times Wait has been called since the last Reset.
+func (b *Backoff) Attempts() int {
+	return b.attempt
+}
+
+//go:noinline
+func spin() {
+	// A call that the compiler must not optimize away; roughly models the
+	// "pause" the paper's backoff would execute on real hardware.
+}

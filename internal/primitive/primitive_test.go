@@ -1,0 +1,81 @@
+package primitive
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCompareAndSwap(t *testing.T) {
+	var p atomic.Pointer[int]
+	a, b, c := new(int), new(int), new(int)
+	p.Store(a)
+	if !CompareAndSwap(&p, a, b) {
+		t.Fatal("CAS with matching old value failed")
+	}
+	if CompareAndSwap(&p, a, c) {
+		t.Fatal("CAS with stale old value succeeded")
+	}
+	if p.Load() != b {
+		t.Fatal("pointer not swung to new value")
+	}
+}
+
+func TestTestAndSet(t *testing.T) {
+	var f atomic.Int32
+	if TestAndSet(&f) != 0 {
+		t.Fatal("first TestAndSet should read 0")
+	}
+	if TestAndSet(&f) != 1 {
+		t.Fatal("second TestAndSet should read 1")
+	}
+}
+
+func TestFetchAndAdd(t *testing.T) {
+	var c atomic.Int64
+	if FetchAndAdd(&c, 5) != 0 {
+		t.Fatal("FetchAndAdd must return the previous value")
+	}
+	if FetchAndAdd(&c, -2) != 5 {
+		t.Fatal("FetchAndAdd must return the previous value on the second call")
+	}
+	if c.Load() != 3 {
+		t.Fatalf("counter = %d, want 3", c.Load())
+	}
+}
+
+func TestFetchAndAddConcurrent(t *testing.T) {
+	var c atomic.Int64
+	var wg sync.WaitGroup
+	const (
+		goroutines = 8
+		perG       = 10000
+	)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				FetchAndAdd(&c, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestBackoffEscalatesAndResets(t *testing.T) {
+	var b Backoff
+	for i := 0; i < 10; i++ {
+		b.Wait()
+	}
+	if got := b.Attempts(); got != 10 {
+		t.Fatalf("Attempts = %d, want 10", got)
+	}
+	b.Reset()
+	if got := b.Attempts(); got != 0 {
+		t.Fatalf("Attempts after Reset = %d, want 0", got)
+	}
+}

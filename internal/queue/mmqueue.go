@@ -1,0 +1,132 @@
+package queue
+
+import (
+	"sync/atomic"
+
+	"valois/internal/mm"
+)
+
+// MMQueue is the lock-free FIFO queue of the author's companion paper
+// ([27], "Implementing lock-free queues") built on the §5 memory manager,
+// so that — unlike Queue, which leans on the garbage collector — its
+// nodes can be recycled through the lock-free free list with
+// SafeRead/Release protecting every traversal step from the ABA problem.
+//
+// The head always points at a dummy node (the most recently dequeued
+// cell); its successor is the front of the queue. The tail points at the
+// last or second-to-last node and is helped forward by any operation that
+// observes it lagging.
+type MMQueue[T any] struct {
+	manager mm.Manager[T]
+	head    atomic.Pointer[mm.Node[T]]
+	tail    atomic.Pointer[mm.Node[T]]
+}
+
+// NewMMQueue returns an empty queue allocating from the given manager.
+func NewMMQueue[T any](manager mm.Manager[T]) *MMQueue[T] {
+	q := &MMQueue[T]{manager: manager}
+	dummy := q.manager.Alloc()
+	dummy.SetKind(mm.KindCell)
+	q.head.Store(dummy)
+	// refs: the dummy's allocation reference becomes the head root's;
+	// the tail root takes its own.
+	q.manager.AddRef(dummy)
+	q.tail.Store(dummy)
+	return q
+}
+
+// Manager returns the queue's memory manager, for leak checks.
+func (q *MMQueue[T]) Manager() mm.Manager[T] { return q.manager }
+
+// Enqueue appends value at the back of the queue. It returns false only
+// if the manager's capacity is exhausted.
+func (q *MMQueue[T]) Enqueue(value T) bool {
+	m := q.manager
+	n := m.Alloc()
+	if n == nil {
+		return false
+	}
+	n.SetKind(mm.KindCell)
+	n.Item = value
+	for {
+		t := m.SafeRead(&q.tail)
+		next := t.Next() // t is held, so this read is stable
+		if next != nil {
+			// The tail lags; help swing it forward before retrying.
+			if q.tail.CompareAndSwap(t, next) {
+				m.AddRef(next) // refs: tail root now holds next
+				m.Release(t)   // refs: tail root dropped t
+			}
+			m.Release(t)
+			continue
+		}
+		if t.CASNext(nil, n) {
+			m.AddRef(n) // refs: link t→n
+			// Linearized; swing the tail (another process may help first).
+			if q.tail.CompareAndSwap(t, n) {
+				m.AddRef(n)
+				m.Release(t)
+			}
+			m.Release(t) // our SafeRead
+			m.Release(n) // our allocation reference; the link keeps n alive
+			return true
+		}
+		m.Release(t)
+	}
+}
+
+// Dequeue removes and returns the value at the front of the queue,
+// reporting false if the queue is empty. The dequeued node is released
+// and — under an RC manager — recycled through the free list the moment
+// the last reference disappears.
+func (q *MMQueue[T]) Dequeue() (T, bool) {
+	m := q.manager
+	for {
+		h := m.SafeRead(&q.head)
+		next := m.SafeRead(h.NextAddr())
+		if next == nil {
+			m.Release(h)
+			var zero T
+			return zero, false
+		}
+		if t := q.tail.Load(); t == h {
+			// Non-empty but the tail lags on the dummy; help it.
+			if q.tail.CompareAndSwap(h, next) {
+				m.AddRef(next)
+				m.Release(h)
+			}
+		}
+		value := next.Item // next is held: safe even if another process wins
+		if q.head.CompareAndSwap(h, next) {
+			m.AddRef(next) // refs: head root now holds next (the new dummy)
+			m.Release(h)   // refs: head root dropped h
+			m.Release(h)   // our SafeRead; h is reclaimed once all readers leave
+			m.Release(next)
+			return value, true
+		}
+		m.Release(h)
+		m.Release(next)
+	}
+}
+
+// Empty reports whether the queue was observed empty.
+func (q *MMQueue[T]) Empty() bool {
+	return q.head.Load().Next() == nil
+}
+
+// Len counts the queued items by traversal; a snapshot under concurrency
+// and exact at quiescence.
+func (q *MMQueue[T]) Len() int {
+	n := 0
+	for cur := q.head.Load().Next(); cur != nil; cur = cur.Next() {
+		n++
+	}
+	return n
+}
+
+// Close releases the queue's root references; under an RC manager this
+// reclaims the dummy and any remaining nodes. Call only at quiescence.
+func (q *MMQueue[T]) Close() {
+	q.manager.Release(q.head.Swap(nil))
+	q.manager.Release(q.tail.Swap(nil))
+}

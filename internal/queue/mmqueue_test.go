@@ -1,0 +1,152 @@
+package queue
+
+import (
+	"sync"
+	"testing"
+
+	"valois/internal/mm"
+)
+
+func mmModes(t *testing.T, f func(t *testing.T, m mm.Manager[int])) {
+	t.Helper()
+	t.Run("gc", func(t *testing.T) { f(t, mm.NewGC[int]()) })
+	t.Run("rc", func(t *testing.T) { f(t, mm.NewRC[int]()) })
+}
+
+func TestMMQueueFIFO(t *testing.T) {
+	mmModes(t, func(t *testing.T, m mm.Manager[int]) {
+		q := NewMMQueue(m)
+		if _, ok := q.Dequeue(); ok {
+			t.Fatal("Dequeue on empty queue reported a value")
+		}
+		for i := 0; i < 50; i++ {
+			if !q.Enqueue(i) {
+				t.Fatalf("Enqueue(%d) failed", i)
+			}
+		}
+		if got := q.Len(); got != 50 {
+			t.Fatalf("Len = %d, want 50", got)
+		}
+		for i := 0; i < 50; i++ {
+			v, ok := q.Dequeue()
+			if !ok || v != i {
+				t.Fatalf("Dequeue = %d,%v; want %d,true", v, ok, i)
+			}
+		}
+		if !q.Empty() {
+			t.Fatal("queue not empty after draining")
+		}
+	})
+}
+
+func TestMMQueueRCRecyclesNodes(t *testing.T) {
+	// Under RC, a drained queue holds only the dummy; cycling many items
+	// through must not grow the arena beyond a small constant.
+	m := mm.NewRC[int](mm.WithBatchSize(4))
+	q := NewMMQueue[int](m)
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 3; i++ {
+			q.Enqueue(i)
+		}
+		for i := 0; i < 3; i++ {
+			if _, ok := q.Dequeue(); !ok {
+				t.Fatal("dequeue failed")
+			}
+		}
+	}
+	if created := m.Stats().Created; created > 16 {
+		t.Fatalf("arena grew to %d cells cycling 600 items; nodes are not recycled", created)
+	}
+	q.Close()
+	if live := m.Stats().Live(); live != 0 {
+		t.Fatalf("live cells after Close = %d, want 0", live)
+	}
+}
+
+func TestMMQueueCapacityExhaustion(t *testing.T) {
+	m := mm.NewRC[int](mm.WithCapacity(3), mm.WithBatchSize(1))
+	q := NewMMQueue[int](m) // consumes one cell for the dummy
+	if !q.Enqueue(1) || !q.Enqueue(2) {
+		t.Fatal("enqueues within capacity failed")
+	}
+	if q.Enqueue(3) {
+		t.Fatal("enqueue beyond capacity succeeded")
+	}
+	if v, ok := q.Dequeue(); !ok || v != 1 {
+		t.Fatalf("Dequeue = %d,%v; want 1,true", v, ok)
+	}
+	// The dequeued dummy is recycled, so one more enqueue fits again.
+	if !q.Enqueue(3) {
+		t.Fatal("enqueue after dequeue failed; cell not recycled")
+	}
+}
+
+func TestMMQueueMPMCConservation(t *testing.T) {
+	mmModes(t, func(t *testing.T, m mm.Manager[int]) {
+		q := NewMMQueue(m)
+		const (
+			producers = 4
+			consumers = 4
+			perP      = 2000
+		)
+		var wg sync.WaitGroup
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for i := 0; i < perP; i++ {
+					q.Enqueue(p*perP + i)
+				}
+			}(p)
+		}
+		var mu sync.Mutex
+		seen := make(map[int]bool, producers*perP)
+		stop := make(chan struct{})
+		var cwg sync.WaitGroup
+		for c := 0; c < consumers; c++ {
+			cwg.Add(1)
+			go func() {
+				defer cwg.Done()
+				for {
+					v, ok := q.Dequeue()
+					if !ok {
+						select {
+						case <-stop:
+							for {
+								v, ok := q.Dequeue()
+								if !ok {
+									return
+								}
+								mu.Lock()
+								seen[v] = true
+								mu.Unlock()
+							}
+						default:
+							continue
+						}
+					}
+					mu.Lock()
+					if seen[v] {
+						mu.Unlock()
+						t.Errorf("value %d dequeued twice", v)
+						return
+					}
+					seen[v] = true
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		close(stop)
+		cwg.Wait()
+		if len(seen) != producers*perP {
+			t.Fatalf("dequeued %d distinct values, want %d", len(seen), producers*perP)
+		}
+		q.Close()
+		if rc, ok := m.(*mm.RC[int]); ok {
+			if live := rc.Stats().Live(); live != 0 {
+				t.Fatalf("live cells after Close = %d, want 0", live)
+			}
+		}
+	})
+}

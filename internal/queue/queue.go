@@ -1,0 +1,148 @@
+// Package queue provides the two lock-free list-based building blocks the
+// paper's related work rests on: a FIFO queue in the style of the
+// author's companion paper ("Implementing lock-free queues" [27]) and a
+// Treiber-style stack — the same structure §5.2 uses for the free list,
+// here with the Go garbage collector playing the role that SafeRead and
+// Release play in internal/mm (the collector guarantees a node is not
+// reused while referenced, which is the §5.1 condition for ABA freedom).
+package queue
+
+import "sync/atomic"
+
+// Queue is a lock-free multi-producer multi-consumer FIFO queue. The
+// queue is a singly-linked list with head and tail pointers; the head
+// always points at a dummy node whose successor is the front of the
+// queue, and the tail points at the last or second-to-last node (it may
+// lag by one; operations that observe a lagging tail help swing it
+// forward before proceeding). The zero value is not usable; construct
+// with NewQueue.
+type Queue[T any] struct {
+	head atomic.Pointer[qnode[T]]
+	tail atomic.Pointer[qnode[T]]
+}
+
+type qnode[T any] struct {
+	next  atomic.Pointer[qnode[T]]
+	value T
+}
+
+// NewQueue returns an empty queue.
+func NewQueue[T any]() *Queue[T] {
+	q := &Queue[T]{}
+	dummy := &qnode[T]{}
+	q.head.Store(dummy)
+	q.tail.Store(dummy)
+	return q
+}
+
+// Enqueue appends value at the back of the queue.
+func (q *Queue[T]) Enqueue(value T) {
+	n := &qnode[T]{value: value}
+	for {
+		tail := q.tail.Load()
+		next := tail.next.Load()
+		if next != nil {
+			// The tail lags; help swing it before retrying.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, n) {
+			// Linearized. Swinging the tail may fail if another process
+			// helps first; either way the queue is consistent.
+			q.tail.CompareAndSwap(tail, n)
+			return
+		}
+	}
+}
+
+// Dequeue removes and returns the value at the front of the queue,
+// reporting false if the queue is empty.
+func (q *Queue[T]) Dequeue() (T, bool) {
+	for {
+		head := q.head.Load()
+		tail := q.tail.Load()
+		next := head.next.Load()
+		if next == nil {
+			var zero T
+			return zero, false
+		}
+		if head == tail {
+			// Non-empty but the tail lags behind; help it forward.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		value := next.value
+		if q.head.CompareAndSwap(head, next) {
+			return value, true
+		}
+	}
+}
+
+// Empty reports whether the queue was observed empty.
+func (q *Queue[T]) Empty() bool {
+	return q.head.Load().next.Load() == nil
+}
+
+// Len counts the queued items by traversal; under concurrent use it is
+// only a snapshot.
+func (q *Queue[T]) Len() int {
+	n := 0
+	for cur := q.head.Load().next.Load(); cur != nil; cur = cur.next.Load() {
+		n++
+	}
+	return n
+}
+
+// Stack is a lock-free LIFO stack — structurally identical to the §5.2
+// free list (Figures 17 and 18), with garbage collection standing in for
+// the reference counts.
+type Stack[T any] struct {
+	top atomic.Pointer[qnode[T]]
+}
+
+// NewStack returns an empty stack.
+func NewStack[T any]() *Stack[T] {
+	return &Stack[T]{}
+}
+
+// Push places value on top of the stack (Figure 18's Reclaim shape).
+func (s *Stack[T]) Push(value T) {
+	n := &qnode[T]{value: value}
+	for {
+		top := s.top.Load()
+		n.next.Store(top)
+		if s.top.CompareAndSwap(top, n) {
+			return
+		}
+	}
+}
+
+// Pop removes and returns the value on top of the stack, reporting false
+// if the stack is empty (Figure 17's Alloc shape).
+func (s *Stack[T]) Pop() (T, bool) {
+	for {
+		top := s.top.Load()
+		if top == nil {
+			var zero T
+			return zero, false
+		}
+		// Reading top.next here is ABA-safe only because the collector
+		// never reuses a node while we hold top — the same role the
+		// reference counts play in mm.RC.Alloc.
+		if s.top.CompareAndSwap(top, top.next.Load()) {
+			return top.value, true
+		}
+	}
+}
+
+// Empty reports whether the stack was observed empty.
+func (s *Stack[T]) Empty() bool { return s.top.Load() == nil }
+
+// Len counts the stacked items by traversal; a snapshot under concurrency.
+func (s *Stack[T]) Len() int {
+	n := 0
+	for cur := s.top.Load(); cur != nil; cur = cur.next.Load() {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,207 @@
+package sched_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"valois/internal/bst"
+	"valois/internal/mm"
+	"valois/internal/sched"
+)
+
+// Exhaustive exploration of the tree's deletion protocol (§4.2,
+// Figure 14) — the most intricate code in the repository. Yield points
+// sit before every structural Compare&Swap, at the deletion claim, and at
+// each traversal hop, so searches interleave with every phase of a
+// deletion: claim, short-circuit, subtree move, splice.
+
+func treeModes(t *testing.T, f func(t *testing.T, mode mm.Mode)) {
+	t.Helper()
+	t.Run("gc", func(t *testing.T) { f(t, mm.ModeGC) })
+	t.Run("rc", func(t *testing.T) { f(t, mm.ModeRC) })
+}
+
+func checkTree(tr *bst.Tree[int, int], want []int) error {
+	if err := tr.CheckQuiescent(); err != nil {
+		return err
+	}
+	got := tr.Keys()
+	if len(got) != len(want) {
+		return fmt.Errorf("keys = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("keys = %v, want %v", got, want)
+		}
+	}
+	for _, k := range want {
+		if v, ok := tr.Find(k); !ok || v != k {
+			return fmt.Errorf("Find(%d) = %d,%v after quiescence", k, v, ok)
+		}
+	}
+	// RC leak checks live in bst's own white-box tests; the item type
+	// parameter is unexported, so the manager cannot be downcast here.
+	return nil
+}
+
+func buildTree(mode mm.Mode, yield func(), keys ...int) *bst.Tree[int, int] {
+	tr := bst.New[int, int](mode)
+	for _, k := range keys {
+		if !tr.Insert(k, k) {
+			panic("sched fixture: tree insert failed")
+		}
+	}
+	tr.SetYieldHook(yield)
+	return tr
+}
+
+// TestExhaustiveTreeTwoChildrenDeleteVsFind explores every interleaving
+// of a two-children deletion (the Figure 14 subtree move) with searches
+// for the keys that survive: the searches must never miss.
+func TestExhaustiveTreeTwoChildrenDeleteVsFind(t *testing.T) {
+	treeModes(t, func(t *testing.T, mode mm.Mode) {
+		var tr *bst.Tree[int, int]
+		var found1, found3, deleted bool
+		build := func(yield func()) sched.Scenario {
+			// 2 is the root with two children: deleting it exercises the
+			// in-order-successor move.
+			tr = buildTree(mode, yield, 2, 1, 3)
+			found1, found3, deleted = false, false, false
+			return sched.Scenario{
+				Threads: []func(){
+					func() { deleted = tr.Delete(2) },
+					func() {
+						_, found1 = tr.Find(1)
+						_, found3 = tr.Find(3)
+					},
+				},
+				Check: func() error {
+					tr.SetYieldHook(nil)
+					if !deleted {
+						return fmt.Errorf("Delete(2) returned false")
+					}
+					if !found1 || !found3 {
+						return fmt.Errorf("concurrent Find missed a live key: 1=%v 3=%v", found1, found3)
+					}
+					return checkTree(tr, []int{1, 3})
+				},
+			}
+		}
+		res, err := sched.Explore(sched.Options{MaxSchedules: 300_000}, build)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Truncated {
+			t.Fatal("exploration truncated; raise the cap")
+		}
+		t.Logf("two-children delete vs finds: %d schedules, ≤%d decisions", res.Schedules, res.MaxDecisions)
+	})
+}
+
+// TestExhaustiveTreeDeleteVsInsert explores a deletion racing an
+// insertion that lands in the subtree being restructured.
+func TestExhaustiveTreeDeleteVsInsert(t *testing.T) {
+	treeModes(t, func(t *testing.T, mode mm.Mode) {
+		var tr *bst.Tree[int, int]
+		var deleted, inserted bool
+		build := func(yield func()) sched.Scenario {
+			tr = buildTree(mode, yield, 2, 1, 4)
+			deleted, inserted = false, false
+			return sched.Scenario{
+				Threads: []func(){
+					func() { deleted = tr.Delete(2) },     // root, two children
+					func() { inserted = tr.Insert(3, 3) }, // lands under 4 (or the moved subtree)
+				},
+				Check: func() error {
+					tr.SetYieldHook(nil)
+					if !deleted || !inserted {
+						return fmt.Errorf("deleted=%v inserted=%v, want both", deleted, inserted)
+					}
+					return checkTree(tr, []int{1, 3, 4})
+				},
+			}
+		}
+		res, err := sched.Explore(sched.Options{MaxSchedules: 300_000}, build)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Truncated {
+			t.Fatal("exploration truncated; raise the cap")
+		}
+		t.Logf("delete vs insert: %d schedules, ≤%d decisions", res.Schedules, res.MaxDecisions)
+	})
+}
+
+// TestExhaustiveTreeAdjacentDeletes explores two deletions racing on a
+// parent and its child.
+func TestExhaustiveTreeAdjacentDeletes(t *testing.T) {
+	treeModes(t, func(t *testing.T, mode mm.Mode) {
+		var tr *bst.Tree[int, int]
+		var d1, d2 bool
+		build := func(yield func()) sched.Scenario {
+			tr = buildTree(mode, yield, 3, 1, 2, 4) // 1 is 3's left child, 2 is 1's right child
+			d1, d2 = false, false
+			return sched.Scenario{
+				Threads: []func(){
+					func() { d1 = tr.Delete(1) },
+					func() { d2 = tr.Delete(2) },
+				},
+				Check: func() error {
+					tr.SetYieldHook(nil)
+					if !d1 || !d2 {
+						return fmt.Errorf("d1=%v d2=%v, want both true", d1, d2)
+					}
+					return checkTree(tr, []int{3, 4})
+				},
+			}
+		}
+		res, err := sched.Explore(sched.Options{MaxSchedules: 300_000}, build)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Truncated {
+			t.Fatal("exploration truncated; raise the cap")
+		}
+		t.Logf("adjacent tree deletes: %d schedules, ≤%d decisions", res.Schedules, res.MaxDecisions)
+	})
+}
+
+// TestExhaustiveTreeSameKeyDelete explores two deleters of the same key:
+// exactly one must win under every schedule (the claim CAS arbitrates).
+func TestExhaustiveTreeSameKeyDelete(t *testing.T) {
+	treeModes(t, func(t *testing.T, mode mm.Mode) {
+		var tr *bst.Tree[int, int]
+		var wins [2]bool
+		build := func(yield func()) sched.Scenario {
+			tr = buildTree(mode, yield, 2, 1, 3)
+			wins = [2]bool{}
+			return sched.Scenario{
+				Threads: []func(){
+					func() { wins[0] = tr.Delete(2) },
+					func() { wins[1] = tr.Delete(2) },
+				},
+				Check: func() error {
+					tr.SetYieldHook(nil)
+					if wins[0] == wins[1] {
+						return fmt.Errorf("wins = %v, want exactly one", wins)
+					}
+					keys := tr.Keys()
+					want := []int{1, 3}
+					if !sort.IntsAreSorted(keys) || len(keys) != 2 || keys[0] != want[0] || keys[1] != want[1] {
+						return fmt.Errorf("keys = %v, want %v", keys, want)
+					}
+					return tr.CheckQuiescent()
+				},
+			}
+		}
+		res, err := sched.Explore(sched.Options{MaxSchedules: 300_000}, build)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Truncated {
+			t.Fatal("exploration truncated; raise the cap")
+		}
+		t.Logf("same-key tree deletes: %d schedules, ≤%d decisions", res.Schedules, res.MaxDecisions)
+	})
+}

@@ -1,0 +1,275 @@
+package sched_test
+
+import (
+	"fmt"
+	"testing"
+
+	"valois/internal/core"
+	"valois/internal/mm"
+	"valois/internal/sched"
+)
+
+// These tests turn the paper's two danger figures into exhaustive checks:
+// every interleaving of the operations' Compare&Swap windows is executed
+// (code between yield points runs atomically), and after each schedule the
+// full invariant set is validated — contents, structural soundness, and
+// under mm.RC exact memory reclamation.
+
+// listFixture builds a list with the given keys and returns it along with
+// per-thread cursors positioned on the requested target keys.
+func listFixture(m mm.Manager[int], yield func(), keys []int, targets []int) (*core.List[int], []*core.Cursor[int]) {
+	l := core.New(m)
+	l.SetYieldHook(yield) // no-ops during this setup (scheduler context)
+	c := l.NewCursor()
+	for i := len(keys) - 1; i >= 0; i-- {
+		q, a := l.AllocInsertNodes(keys[i])
+		if !c.TryInsert(q, a) {
+			panic("sched fixture: insert failed on idle list")
+		}
+		l.ReleaseNodes(q, a)
+		c.Reset()
+	}
+	c.Close()
+	cursors := make([]*core.Cursor[int], len(targets))
+	for i, k := range targets {
+		cur := l.NewCursor()
+		for !cur.End() && cur.Item() != k {
+			cur.Next()
+		}
+		if cur.End() {
+			panic("sched fixture: target key missing")
+		}
+		cursors[i] = cur
+	}
+	return l, cursors
+}
+
+// checkList validates items, quiescent structure, and (rc) exact
+// reclamation. Cursors are closed first.
+func checkList(m mm.Manager[int], l *core.List[int], cursors []*core.Cursor[int], want []int) error {
+	for _, c := range cursors {
+		c.Close()
+	}
+	got := l.Items()
+	if len(got) != len(want) {
+		return fmt.Errorf("items = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("items = %v, want %v", got, want)
+		}
+	}
+	if err := l.CheckQuiescent(); err != nil {
+		return err
+	}
+	if rc, ok := m.(*mm.RC[int]); ok {
+		if live, expect := rc.Stats().Live(), int64(3+2*len(want)); live != expect {
+			return fmt.Errorf("live cells = %d, want %d", live, expect)
+		}
+		l.Close()
+		if live := rc.Stats().Live(); live != 0 {
+			return fmt.Errorf("live cells after Close = %d, want 0", live)
+		}
+	}
+	return nil
+}
+
+// insertSorted is Figure 12's retry loop at list level: re-seek the
+// sorted position after every failed attempt.
+func insertSorted(l *core.List[int], c *core.Cursor[int], key int) {
+	q, a := l.AllocInsertNodes(key)
+	for {
+		if c.TryInsert(q, a) {
+			l.ReleaseNodes(q, a)
+			return
+		}
+		c.Update()
+		for !c.End() && c.Item() < key {
+			c.Next()
+		}
+	}
+}
+
+// deleteKey is Figure 13's retry loop: re-seek the key after every
+// failed attempt. (The schedule explorer itself demonstrated why the
+// re-seek is mandatory: without it, a deleter whose cursor was updated
+// past a concurrent insertion deletes the wrong cell.)
+func deleteKey(c *core.Cursor[int], key int) {
+	for {
+		for !c.End() && c.Item() < key {
+			c.Next()
+		}
+		if c.End() || c.Item() != key {
+			panic("sched scenario: key to delete is missing")
+		}
+		if c.TryDelete() {
+			return
+		}
+		c.Update()
+	}
+}
+
+func managers(t *testing.T, f func(t *testing.T, newM func() mm.Manager[int])) {
+	t.Helper()
+	t.Run("gc", func(t *testing.T) { f(t, func() mm.Manager[int] { return mm.NewGC[int]() }) })
+	t.Run("rc", func(t *testing.T) { f(t, func() mm.Manager[int] { return mm.NewRC[int]() }) })
+}
+
+// TestExhaustiveFigure2 explores every interleaving of the Figure 2 race:
+// inserting C at the position of B while B is concurrently deleted. Under
+// no schedule may C be lost or the structure corrupted.
+func TestExhaustiveFigure2(t *testing.T) {
+	managers(t, func(t *testing.T, newM func() mm.Manager[int]) {
+		var m mm.Manager[int]
+		var l *core.List[int]
+		var cursors []*core.Cursor[int]
+		build := func(yield func()) sched.Scenario {
+			m = newM()
+			l, cursors = listFixture(m, yield, []int{10, 30}, []int{30, 30})
+			return sched.Scenario{
+				Threads: []func(){
+					func() { insertSorted(l, cursors[0], 20) }, // insert C before B
+					func() { deleteKey(cursors[1], 30) },       // delete B (Fig 13 loop)
+				},
+				Check: func() error {
+					return checkList(m, l, cursors, []int{10, 20})
+				},
+			}
+		}
+		res, err := sched.Explore(sched.Options{}, build)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Truncated {
+			t.Fatal("exploration truncated")
+		}
+		t.Logf("figure 2: %d schedules, ≤%d decisions", res.Schedules, res.MaxDecisions)
+		if res.Schedules < 3 {
+			t.Fatalf("only %d schedules explored; yield points not firing", res.Schedules)
+		}
+	})
+}
+
+// TestExhaustiveFigure3 explores every interleaving of the Figure 3 race:
+// deleting two adjacent cells. Under no schedule may a deletion be undone.
+func TestExhaustiveFigure3(t *testing.T) {
+	managers(t, func(t *testing.T, newM func() mm.Manager[int]) {
+		var m mm.Manager[int]
+		var l *core.List[int]
+		var cursors []*core.Cursor[int]
+		build := func(yield func()) sched.Scenario {
+			m = newM()
+			l, cursors = listFixture(m, yield, []int{10, 20, 30}, []int{20, 30})
+			return sched.Scenario{
+				Threads: []func(){
+					func() { deleteKey(cursors[0], 20) },
+					func() { deleteKey(cursors[1], 30) },
+				},
+				Check: func() error {
+					return checkList(m, l, cursors, []int{10})
+				},
+			}
+		}
+		res, err := sched.Explore(sched.Options{}, build)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Truncated {
+			t.Fatal("exploration truncated")
+		}
+		t.Logf("figure 3: %d schedules, ≤%d decisions", res.Schedules, res.MaxDecisions)
+	})
+}
+
+// TestExhaustiveThreeAdjacentDeletes extends Figure 3 to three deleters,
+// the shape behind the §3 chain-collapse theorem.
+func TestExhaustiveThreeAdjacentDeletes(t *testing.T) {
+	managers(t, func(t *testing.T, newM func() mm.Manager[int]) {
+		var m mm.Manager[int]
+		var l *core.List[int]
+		var cursors []*core.Cursor[int]
+		build := func(yield func()) sched.Scenario {
+			m = newM()
+			l, cursors = listFixture(m, yield, []int{10, 20, 30, 40}, []int{20, 30, 40})
+			return sched.Scenario{
+				Threads: []func(){
+					func() { deleteKey(cursors[0], 20) },
+					func() { deleteKey(cursors[1], 30) },
+					func() { deleteKey(cursors[2], 40) },
+				},
+				Check: func() error {
+					return checkList(m, l, cursors, []int{10})
+				},
+			}
+		}
+		res, err := sched.Explore(sched.Options{MaxSchedules: 500_000}, build)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Truncated {
+			t.Fatal("exploration truncated; raise the cap")
+		}
+		t.Logf("three deletes: %d schedules, ≤%d decisions", res.Schedules, res.MaxDecisions)
+	})
+}
+
+// TestExhaustiveDeleteRace explores two deleters racing on the SAME cell:
+// exactly one must win under every schedule.
+func TestExhaustiveDeleteRace(t *testing.T) {
+	managers(t, func(t *testing.T, newM func() mm.Manager[int]) {
+		var m mm.Manager[int]
+		var l *core.List[int]
+		var cursors []*core.Cursor[int]
+		var wins [2]bool
+		build := func(yield func()) sched.Scenario {
+			m = newM()
+			l, cursors = listFixture(m, yield, []int{10, 20, 30}, []int{20, 20})
+			wins = [2]bool{}
+			del := func(i int) func() {
+				return func() { wins[i] = cursors[i].TryDelete() }
+			}
+			return sched.Scenario{
+				Threads: []func(){del(0), del(1)},
+				Check: func() error {
+					if wins[0] == wins[1] {
+						return fmt.Errorf("wins = %v, want exactly one", wins)
+					}
+					return checkList(m, l, cursors, []int{10, 30})
+				},
+			}
+		}
+		res, err := sched.Explore(sched.Options{}, build)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("delete race: %d schedules", res.Schedules)
+	})
+}
+
+// TestExhaustiveInsertInsert explores two sorted inserts aimed at the
+// same position; both must land, in order, under every schedule.
+func TestExhaustiveInsertInsert(t *testing.T) {
+	managers(t, func(t *testing.T, newM func() mm.Manager[int]) {
+		var m mm.Manager[int]
+		var l *core.List[int]
+		var cursors []*core.Cursor[int]
+		build := func(yield func()) sched.Scenario {
+			m = newM()
+			l, cursors = listFixture(m, yield, []int{10, 30}, []int{30, 30})
+			return sched.Scenario{
+				Threads: []func(){
+					func() { insertSorted(l, cursors[0], 20) },
+					func() { insertSorted(l, cursors[1], 25) },
+				},
+				Check: func() error {
+					return checkList(m, l, cursors, []int{10, 20, 25, 30})
+				},
+			}
+		}
+		res, err := sched.Explore(sched.Options{}, build)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("insert/insert: %d schedules", res.Schedules)
+	})
+}

@@ -1,0 +1,194 @@
+// Package sched is a deterministic schedule explorer for small concurrent
+// scenarios: it runs a handful of operations as cooperatively-scheduled
+// threads that hand control back at every structural Compare&Swap window
+// (core.List.SetYieldHook), and enumerates EVERY possible interleaving of
+// those windows, validating an invariant after each complete schedule.
+//
+// This turns the paper's informal "consider the following interleaving"
+// arguments (Figures 2 and 3) into exhaustive checks: instead of hoping a
+// stress test stumbles onto the bad schedule, every schedule at
+// Compare&Swap granularity is executed. The state space is the tree of
+// scheduling decisions; it is explored depth-first by replaying decision
+// prefixes, so scenario bodies must be deterministic (no randomness, no
+// time, fresh structures per schedule).
+package sched
+
+import (
+	"fmt"
+)
+
+// Scenario is one configuration to explore: the controlled threads and a
+// final-state invariant.
+type Scenario struct {
+	// Threads run concurrently under the explorer's control; each is
+	// started fresh for every schedule.
+	Threads []func()
+	// Check validates the final state once every thread has finished.
+	Check func() error
+}
+
+// Options bounds the exploration.
+type Options struct {
+	// MaxSchedules caps how many schedules run (0 = 1<<20). If the space
+	// is larger, Explore reports Truncated instead of running forever.
+	MaxSchedules int
+}
+
+// Result reports what an exploration covered.
+type Result struct {
+	// Schedules is the number of complete interleavings executed.
+	Schedules int
+	// MaxDecisions is the largest number of scheduling decisions seen in
+	// one schedule.
+	MaxDecisions int
+	// Truncated reports that MaxSchedules was reached before the space
+	// was exhausted.
+	Truncated bool
+}
+
+// A FailedScheduleError carries the decision prefix that produced a
+// failing schedule, so it can be replayed.
+type FailedScheduleError struct {
+	Prefix []int
+	Err    error
+}
+
+func (e *FailedScheduleError) Error() string {
+	return fmt.Sprintf("sched: invariant failed under schedule %v: %v", e.Prefix, e.Err)
+}
+
+func (e *FailedScheduleError) Unwrap() error { return e.Err }
+
+// Explore enumerates every interleaving of the scenario built by build.
+// build is invoked once per schedule and receives the controlled yield
+// function, which it must install as the yield hook of the structures
+// under test before returning the scenario. Any failing Check aborts the
+// exploration with a FailedScheduleError naming the schedule.
+func Explore(opts Options, build func(yield func()) Scenario) (Result, error) {
+	limit := opts.MaxSchedules
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	var (
+		res    Result
+		prefix []int
+	)
+	for {
+		branches, err := runOne(build, prefix)
+		res.Schedules++
+		if len(branches) > res.MaxDecisions {
+			res.MaxDecisions = len(branches)
+		}
+		if err != nil {
+			return res, &FailedScheduleError{Prefix: append([]int(nil), prefix...), Err: err}
+		}
+		if res.Schedules >= limit {
+			res.Truncated = true
+			return res, nil
+		}
+		// Advance to the next schedule in depth-first order: find the
+		// deepest decision whose choice can still be incremented.
+		next := make([]int, len(branches))
+		copy(next, prefix) // positions beyond the prefix were choice 0
+		pos := len(branches) - 1
+		for ; pos >= 0; pos-- {
+			if next[pos]+1 < branches[pos] {
+				next[pos]++
+				prefix = next[:pos+1]
+				break
+			}
+		}
+		if pos < 0 {
+			return res, nil // space exhausted
+		}
+	}
+}
+
+// Replay runs the single schedule named by prefix (as reported in a
+// FailedScheduleError) and returns its Check result.
+func Replay(build func(yield func()) Scenario, prefix []int) error {
+	_, err := runOne(build, prefix)
+	return err
+}
+
+type event struct {
+	tid  int
+	done bool
+}
+
+// controller serializes the scenario's threads: exactly one runs at a
+// time; yield hands control back to the scheduling loop.
+type controller struct {
+	resume  []chan struct{}
+	events  chan event
+	current int // tid of the running controlled thread, or -1
+}
+
+// yield is the hook installed into the structures under test. Calls made
+// outside any controlled thread (scenario setup, final checks) are
+// no-ops; only one controlled thread runs at a time, so reading current
+// is race-free.
+func (c *controller) yield() {
+	tid := c.current
+	if tid < 0 {
+		return
+	}
+	c.events <- event{tid: tid}
+	<-c.resume[tid]
+}
+
+// runOne executes one schedule: decisions beyond the prefix default to
+// choice 0. It returns the branching factor at every decision point (for
+// the enumerator) and the scenario's Check error.
+func runOne(build func(yield func()) Scenario, prefix []int) (branches []int, err error) {
+	c := &controller{
+		events:  make(chan event),
+		current: -1,
+	}
+	scen := build(c.yield)
+	n := len(scen.Threads)
+	if n == 0 {
+		return nil, scen.Check()
+	}
+	c.resume = make([]chan struct{}, n)
+	finished := make([]bool, n)
+	for i := range scen.Threads {
+		c.resume[i] = make(chan struct{})
+		go func(i int) {
+			<-c.resume[i] // wait to be scheduled for the first time
+			scen.Threads[i]()
+			c.events <- event{tid: i, done: true}
+		}(i)
+	}
+
+	alive := n
+	step := 0
+	for alive > 0 {
+		enabled := make([]int, 0, n)
+		for i := 0; i < n; i++ {
+			if !finished[i] {
+				enabled = append(enabled, i)
+			}
+		}
+		choice := 0
+		if step < len(prefix) {
+			choice = prefix[step]
+			if choice >= len(enabled) {
+				// A stale prefix from a diverging schedule tree; clamp.
+				choice = len(enabled) - 1
+			}
+		}
+		branches = append(branches, len(enabled))
+		tid := enabled[choice]
+		c.current = tid
+		c.resume[tid] <- struct{}{}
+		ev := <-c.events
+		c.current = -1
+		if ev.done {
+			finished[ev.tid] = true
+			alive--
+		}
+		step++
+	}
+	return branches, scen.Check()
+}

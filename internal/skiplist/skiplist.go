@@ -1,0 +1,427 @@
+// Package skiplist implements the paper's third dictionary structure
+// (§4.1): "a lock-free skip list [24] as a collection of k sorted
+// singly-linked lists, such that higher level lists contain a subset of
+// the cells in lower level lists. As in [23], insertions and deletions are
+// performed one level at a time, insertions starting with the bottom level
+// and working up, and deletions starting at the top and working down."
+//
+// Every level is an independent lock-free list from internal/core. The
+// bottom level holds all items and is the linearization point of every
+// dictionary operation; the higher levels are an index — towers of cells
+// for the same key connected by Down pointers — that only accelerates the
+// descent. A search walks each level from the closest predecessor found on
+// the level above, following the predecessor cell's Down pointer
+// (List.CursorAt supports resuming from a held cell even if it has been
+// deleted, thanks to cell persistence).
+//
+// Because index levels are hints, races between an insertion building a
+// tower upward and a deletion tearing it down top-down can strand index
+// cells whose tower no longer reaches a live bottom cell. Such orphans
+// never affect correctness — the bottom level decides membership — and are
+// garbage-collected opportunistically: Delete sweeps every level for the
+// key again after the bottom-level deletion succeeds.
+package skiplist
+
+import (
+	"cmp"
+	"sync/atomic"
+
+	"valois/internal/core"
+	"valois/internal/dict"
+	"valois/internal/mm"
+)
+
+const defaultMaxLevel = 16
+
+// item is what a cell stores: the key at every level, the value at the
+// bottom level, and the Down pointer into the next lower level (nil at the
+// bottom). Down is a counted reference under mm.RC; the manager's reclaim
+// extractor releases it when the cell is reclaimed.
+type item[K cmp.Ordered, V any] struct {
+	Key   K
+	Value V
+	Down  *mm.Node[item[K, V]]
+}
+
+// SkipList is a non-blocking skip-list dictionary.
+type SkipList[K cmp.Ordered, V any] struct {
+	manager mm.Manager[item[K, V]]
+	levels  []*core.List[item[K, V]] // levels[0] is the bottom (authoritative) list
+	rng     atomic.Uint64            // state for deterministic tower heights
+}
+
+var _ dict.Dictionary[int, int] = (*SkipList[int, int])(nil)
+
+// Option configures a SkipList.
+type Option interface {
+	apply(*options)
+}
+
+type options struct {
+	maxLevel int
+	seed     uint64
+}
+
+type maxLevelOption int
+
+func (m maxLevelOption) apply(o *options) { o.maxLevel = int(m) }
+
+// WithMaxLevel sets the number of levels k, which the paper suggests
+// choosing as Θ(log N) for N expected items. The default is 16.
+func WithMaxLevel(k int) Option { return maxLevelOption(k) }
+
+type seedOption uint64
+
+func (s seedOption) apply(o *options) { o.seed = uint64(s) }
+
+// WithSeed seeds the tower-height generator, for reproducible structure in
+// tests and benchmarks.
+func WithSeed(seed uint64) Option { return seedOption(seed) }
+
+// New returns an empty skip-list dictionary under the given memory mode.
+func New[K cmp.Ordered, V any](mode mm.Mode, opts ...Option) *SkipList[K, V] {
+	o := options{maxLevel: defaultMaxLevel, seed: 0x5eed}
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	if o.maxLevel < 1 {
+		o.maxLevel = 1
+	}
+	var manager mm.Manager[item[K, V]]
+	switch mode {
+	case mm.ModeRC:
+		rc := mm.NewRC[item[K, V]]()
+		rc.SetReclaimExtractor(func(it item[K, V]) (*mm.Node[item[K, V]], *mm.Node[item[K, V]]) {
+			return it.Down, nil
+		})
+		manager = rc
+	default:
+		manager = mm.NewGC[item[K, V]]()
+	}
+	s := &SkipList[K, V]{
+		manager: manager,
+		levels:  make([]*core.List[item[K, V]], o.maxLevel),
+	}
+	s.rng.Store(o.seed)
+	for i := range s.levels {
+		s.levels[i] = core.New(manager)
+	}
+	return s
+}
+
+// Levels returns the number of levels k.
+func (s *SkipList[K, V]) Levels() int { return len(s.levels) }
+
+// Level exposes one level's list for structural checks in tests.
+func (s *SkipList[K, V]) Level(i int) *core.List[item[K, V]] { return s.levels[i] }
+
+// EnableStats turns on the extra-work counters on every level.
+func (s *SkipList[K, V]) EnableStats() {
+	for _, l := range s.levels {
+		l.EnableStats()
+	}
+}
+
+// SetYieldHook installs a yield hook on every level's list (see
+// core.List.SetYieldHook), for the deterministic schedule explorer. Must
+// be called before the structure is shared.
+func (s *SkipList[K, V]) SetYieldHook(f func()) {
+	for _, l := range s.levels {
+		l.SetYieldHook(f)
+	}
+}
+
+// WorkStats sums the extra-work counters across levels.
+func (s *SkipList[K, V]) WorkStats() core.WorkStats {
+	var total core.WorkStats
+	for _, l := range s.levels {
+		w := l.Stats().Snapshot()
+		total.AuxSkips += w.AuxSkips
+		total.AuxRemovals += w.AuxRemovals
+		total.BacklinkSteps += w.BacklinkSteps
+		total.ChainSteps += w.ChainSteps
+		total.DeleteCASRetries += w.DeleteCASRetries
+		total.InsertRetries += w.InsertRetries
+		total.DeleteRetries += w.DeleteRetries
+	}
+	return total
+}
+
+// height draws a tower height with geometric distribution p=1/2, in
+// [1, maxLevel]. The generator is a shared SplitMix64 counter, so heights
+// are deterministic for a given seed regardless of scheduling.
+func (s *SkipList[K, V]) height() int {
+	x := dict.HashUint64(s.rng.Add(1))
+	h := 1
+	for x&1 == 1 && h < len(s.levels) {
+		h++
+		x >>= 1
+	}
+	return h
+}
+
+// cursorFor returns a cursor on level i, starting from the held
+// predecessor cell start (or from the level's head if start is nil).
+func (s *SkipList[K, V]) cursorFor(i int, start *mm.Node[item[K, V]]) *core.Cursor[item[K, V]] {
+	if start == nil {
+		return s.levels[i].NewCursor()
+	}
+	return s.levels[i].CursorAt(start)
+}
+
+// seek advances the cursor until it visits the first cell with key ≥ k.
+// It is findFrom's traversal (Figure 11) without the equality decision.
+func seek[K cmp.Ordered, V any](c *core.Cursor[item[K, V]], k K) {
+	for !c.End() && c.Item().Key < k {
+		if !c.Next() {
+			return
+		}
+	}
+}
+
+// descend walks the levels from the top, recording for each level the
+// closest predecessor cell with key < k (nil when that is the level's
+// head dummy). The returned cells carry a counted reference each; the
+// caller must hand them to releasePreds.
+func (s *SkipList[K, V]) descend(k K) []*mm.Node[item[K, V]] {
+	m := s.manager
+	preds := make([]*mm.Node[item[K, V]], len(s.levels))
+	var start *mm.Node[item[K, V]] // counted reference we hold, or nil
+	for i := len(s.levels) - 1; i >= 0; i-- {
+		c := s.cursorFor(i, start)
+		if start != nil {
+			m.Release(start)
+			start = nil
+		}
+		seek(c, k)
+		if p := c.PreCell(); p.Kind() == mm.KindCell {
+			m.AddRef(p)
+			preds[i] = p
+			if i > 0 {
+				// The Down reference is kept alive by p, which the
+				// cursor still holds; count our own before moving on.
+				start = p.Item.Down
+				m.AddRef(start)
+			}
+		}
+		c.Close()
+	}
+	return preds
+}
+
+func (s *SkipList[K, V]) releasePreds(preds []*mm.Node[item[K, V]]) {
+	for _, p := range preds {
+		s.manager.Release(p) // Release(nil) is a no-op
+	}
+}
+
+// Find reports the value stored under key. Membership is decided by the
+// bottom level; higher levels only provide the starting point.
+func (s *SkipList[K, V]) Find(key K) (V, bool) {
+	preds := s.descend(key)
+	defer s.releasePreds(preds)
+	c := s.cursorFor(0, preds[0])
+	defer c.Close()
+	seek(c, key)
+	if !c.End() {
+		if it := c.Item(); it.Key == key {
+			return it.Value, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Insert adds the item if the key is not present, reporting whether it
+// inserted. The bottom-level insertion is the linearization point and
+// enforces uniqueness exactly as Figure 12 does; index cells are then
+// added bottom-up (§4.1).
+func (s *SkipList[K, V]) Insert(key K, value V) bool {
+	m := s.manager
+	h := s.height()
+	preds := s.descend(key)
+	defer s.releasePreds(preds)
+
+	// Bottom level: the Figure 12 loop, starting from the descent's
+	// vantage point.
+	base := s.levels[0]
+	c := s.cursorFor(0, preds[0])
+	q, a := base.AllocInsertNodes(item[K, V]{Key: key, Value: value})
+	if q == nil {
+		c.Close()
+		return false
+	}
+	for {
+		seek(c, key)
+		if !c.End() && c.Item().Key == key {
+			base.ReleaseNodes(q, a)
+			c.Close()
+			return false
+		}
+		if c.TryInsert(q, a) {
+			break
+		}
+		base.Stats().AddInsertRetries(1)
+		c.Update()
+	}
+	c.Close()
+	base.ReleaseNodes(a) // the auxiliary node's allocation reference
+
+	// Build the index tower bottom-up. q's allocation reference keeps it
+	// alive while it becomes the first Down target.
+	below := q // counted: the allocation reference we have not released yet
+	for i := 1; i < h; i++ {
+		if q.Deleted() {
+			// A concurrent Delete already removed the bottom cell;
+			// stop building — its sweep may have passed our level.
+			break
+		}
+		lvl := s.levels[i]
+		m.AddRef(below) // counted: the Down pointer stored in the new cell
+		iq, ia := lvl.AllocInsertNodes(item[K, V]{Key: key, Down: below})
+		if iq == nil {
+			m.Release(below)
+			break
+		}
+		inserted := false
+		lc := s.cursorFor(i, preds[i])
+		for {
+			seek(lc, key)
+			if !lc.End() && lc.Item().Key == key {
+				break // an index cell for the key is already here
+			}
+			if lc.TryInsert(iq, ia) {
+				inserted = true
+				break
+			}
+			lvl.Stats().AddInsertRetries(1)
+			lc.Update()
+		}
+		lc.Close()
+		if !inserted {
+			lvl.ReleaseNodes(iq, ia) // also drops the Down reference via reclaim
+			break
+		}
+		m.Release(below) // drop our hold; iq's Down keeps it
+		below = iq
+		m.AddRef(below)
+		lvl.ReleaseNodes(iq, ia)
+	}
+	m.Release(below)
+	return true
+}
+
+// Delete removes the item with the given key, reporting whether an item
+// was removed. Index cells are removed top-down (§4.1) before the
+// bottom-level deletion, which is the linearization point; a final sweep
+// removes index cells a racing insertion may have added meanwhile.
+func (s *SkipList[K, V]) Delete(key K) bool {
+	preds := s.descend(key)
+	s.deleteIndex(key, preds)
+
+	base := s.levels[0]
+	c := s.cursorFor(0, preds[0])
+	deleted := false
+	for {
+		seek(c, key)
+		if c.End() || c.Item().Key != key {
+			break
+		}
+		if c.TryDelete() {
+			deleted = true
+			break
+		}
+		base.Stats().AddDeleteRetries(1)
+		c.Update()
+	}
+	c.Close()
+
+	if deleted {
+		// Sweep stragglers left by towers built concurrently with us.
+		s.deleteIndex(key, preds)
+	}
+	s.releasePreds(preds)
+	return deleted
+}
+
+// deleteIndex removes every index cell with the key from levels top..1.
+func (s *SkipList[K, V]) deleteIndex(key K, preds []*mm.Node[item[K, V]]) {
+	for i := len(s.levels) - 1; i >= 1; i-- {
+		lvl := s.levels[i]
+		c := s.cursorFor(i, preds[i])
+		for {
+			seek(c, key)
+			if c.End() || c.Item().Key != key {
+				break
+			}
+			if !c.TryDelete() {
+				lvl.Stats().AddDeleteRetries(1)
+			}
+			c.Update()
+		}
+		c.Close()
+	}
+}
+
+// Len reports the number of items (bottom-level snapshot).
+func (s *SkipList[K, V]) Len() int { return s.levels[0].Len() }
+
+// Range calls f for each item in strictly ascending key order until f
+// returns false, traversing the bottom level. As with
+// dict.SortedList.Range, the sweep may rejoin the list at an earlier
+// position after passing through concurrently deleted cells, so items with
+// keys not above the last reported key are skipped to keep the output
+// monotone.
+func (s *SkipList[K, V]) Range(f func(key K, value V) bool) {
+	c := s.levels[0].NewCursor()
+	defer c.Close()
+	first := true
+	var last K
+	for !c.End() {
+		it := c.Item()
+		if first || it.Key > last {
+			if !f(it.Key, it.Value) {
+				return
+			}
+			first = false
+			last = it.Key
+		}
+		if !c.Next() {
+			return
+		}
+	}
+}
+
+// RangeFrom is Range starting at the first key ≥ start, using the index
+// levels to reach the starting position in O(log n) instead of scanning
+// the bottom level.
+func (s *SkipList[K, V]) RangeFrom(start K, f func(key K, value V) bool) {
+	preds := s.descend(start)
+	c := s.cursorFor(0, preds[0])
+	s.releasePreds(preds)
+	defer c.Close()
+	seek(c, start)
+	first := true
+	var last K
+	for !c.End() {
+		it := c.Item()
+		if it.Key >= start && (first || it.Key > last) {
+			if !f(it.Key, it.Value) {
+				return
+			}
+			first = false
+			last = it.Key
+		}
+		if !c.Next() {
+			return
+		}
+	}
+}
+
+// Close releases every level's cells. Under an RC manager it must only be
+// called once no operations are in flight.
+func (s *SkipList[K, V]) Close() {
+	for _, l := range s.levels {
+		l.Close()
+	}
+}

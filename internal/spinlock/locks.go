@@ -1,0 +1,182 @@
+// Package spinlock provides the mutual-exclusion baselines the paper
+// positions itself against (§1): "a number of efficient spin locking
+// techniques have been developed [3, 8, 20]". It implements the classic
+// test-and-set lock, the test-and-test-and-set lock with exponential
+// backoff (Anderson [3], Graunke & Thakkar [8]), the ticket lock, and a
+// CLH-style queue lock standing in for the queue-based locks of
+// Mellor-Crummey & Scott [20], plus lock-based dictionary implementations
+// built on them. Experiments E1 and E2 compare these against the lock-free
+// structures; E2 injects delays inside the critical section to reproduce
+// the convoying behaviour the paper's introduction describes.
+package spinlock
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"valois/internal/primitive"
+)
+
+// Locker is the subset of sync.Locker the baselines need; sync.Mutex and
+// every lock in this package satisfy it.
+type Locker = sync.Locker
+
+// TAS is the simplest spin lock: spin on Test&Set until it reads false.
+// Every attempt writes the lock word, generating the coherence traffic
+// that motivated the test-and-test-and-set variant.
+type TAS struct {
+	state atomic.Int32
+}
+
+var _ Locker = (*TAS)(nil)
+
+// Lock acquires the lock, spinning until it succeeds.
+func (l *TAS) Lock() {
+	for primitive.TestAndSet(&l.state) == 1 {
+		runtime.Gosched()
+	}
+}
+
+// Unlock releases the lock.
+func (l *TAS) Unlock() {
+	l.state.Store(0)
+}
+
+// TTAS is the test-and-test-and-set lock with exponential backoff: it
+// spins reading the lock word and attempts the atomic Test&Set only when
+// the word looks free, backing off after failed attempts.
+type TTAS struct {
+	state atomic.Int32
+}
+
+var _ Locker = (*TTAS)(nil)
+
+// Lock acquires the lock.
+func (l *TTAS) Lock() {
+	var b primitive.Backoff
+	for {
+		for l.state.Load() == 1 {
+			runtime.Gosched()
+		}
+		if primitive.TestAndSet(&l.state) == 0 {
+			return
+		}
+		b.Wait()
+	}
+}
+
+// Unlock releases the lock.
+func (l *TTAS) Unlock() {
+	l.state.Store(0)
+}
+
+// Ticket is a fair FIFO spin lock: acquirers take a ticket with Fetch&Add
+// and spin until the serving counter reaches it.
+type Ticket struct {
+	next    atomic.Int64
+	serving atomic.Int64
+}
+
+var _ Locker = (*Ticket)(nil)
+
+// Lock acquires the lock in FIFO order.
+func (l *Ticket) Lock() {
+	ticket := primitive.FetchAndAdd(&l.next, 1)
+	for l.serving.Load() != ticket {
+		runtime.Gosched()
+	}
+}
+
+// Unlock releases the lock to the next ticket holder.
+func (l *Ticket) Unlock() {
+	l.serving.Add(1)
+}
+
+// CLH is a queue lock in the style of Craig/Landin-Hagersten, standing in
+// for the MCS queue lock of Mellor-Crummey & Scott [20]: each acquirer
+// enqueues a node and spins on its predecessor's flag, so waiters spin on
+// distinct locations and the lock is FIFO-fair.
+type CLH struct {
+	tail atomic.Pointer[clhNode]
+	mine sync.Map // per-goroutine is not expressible; key by token
+}
+
+type clhNode struct {
+	locked atomic.Bool
+}
+
+// clhHandle carries the queue node between Lock and Unlock. Because Go
+// has no per-thread storage, CLH hands the node through an explicit
+// handle; use LockH/UnlockH when possible. The plain Lock/Unlock pair
+// stores the handle keyed by goroutine-independent token and therefore
+// serializes on a map — use it only where a sync.Locker is required.
+type clhHandle struct {
+	node *clhNode
+	pred *clhNode
+}
+
+// LockH acquires the lock and returns a handle for UnlockH.
+func (l *CLH) LockH() any {
+	n := &clhNode{}
+	n.locked.Store(true)
+	pred := l.tail.Swap(n)
+	if pred != nil {
+		for pred.locked.Load() {
+			runtime.Gosched()
+		}
+	}
+	return &clhHandle{node: n, pred: pred}
+}
+
+// UnlockH releases the lock acquired by LockH.
+func (l *CLH) UnlockH(h any) {
+	handle, ok := h.(*clhHandle)
+	if !ok {
+		panic("spinlock: UnlockH called with a foreign handle")
+	}
+	handle.node.locked.Store(false)
+}
+
+// Lock acquires the lock through a per-lock handle slot so CLH satisfies
+// sync.Locker. Handles are matched to unlocks in LIFO order of the single
+// critical section, which is exactly the Lock/Unlock discipline.
+func (l *CLH) Lock() {
+	h := l.LockH()
+	l.mine.Store(l, h) // one outstanding handle per lock while held
+}
+
+// Unlock releases the lock.
+func (l *CLH) Unlock() {
+	h, ok := l.mine.LoadAndDelete(l)
+	if !ok {
+		panic("spinlock: Unlock without Lock")
+	}
+	l.UnlockH(h)
+}
+
+var _ Locker = (*CLH)(nil)
+
+// NewLock constructs a lock by name; the benchmark harness uses it to
+// sweep lock kinds. Valid names: "tas", "ttas", "ticket", "clh", "mutex".
+func NewLock(kind string) Locker {
+	switch kind {
+	case "tas":
+		return &TAS{}
+	case "ttas":
+		return &TTAS{}
+	case "ticket":
+		return &Ticket{}
+	case "clh":
+		return &CLH{}
+	case "mutex":
+		return &sync.Mutex{}
+	default:
+		panic("spinlock: unknown lock kind " + kind)
+	}
+}
+
+// LockKinds lists the lock names NewLock accepts, in presentation order.
+func LockKinds() []string {
+	return []string{"tas", "ttas", "ticket", "clh", "mutex"}
+}

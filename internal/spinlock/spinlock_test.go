@@ -1,0 +1,171 @@
+package spinlock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"valois/internal/dict"
+)
+
+func TestMutualExclusionAllKinds(t *testing.T) {
+	for _, kind := range LockKinds() {
+		t.Run(kind, func(t *testing.T) {
+			mu := NewLock(kind)
+			const (
+				goroutines = 8
+				perG       = 2000
+			)
+			counter := 0
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perG; i++ {
+						mu.Lock()
+						counter++
+						mu.Unlock()
+					}
+				}()
+			}
+			wg.Wait()
+			if counter != goroutines*perG {
+				t.Fatalf("counter = %d, want %d (lost updates: no mutual exclusion)", counter, goroutines*perG)
+			}
+		})
+	}
+}
+
+func TestCLHHandleAPI(t *testing.T) {
+	var l CLH
+	h := l.LockH()
+	done := make(chan struct{})
+	go func() {
+		l.Lock() // must block until UnlockH
+		l.Unlock()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("second acquire succeeded while lock held")
+	default:
+	}
+	l.UnlockH(h)
+	<-done
+}
+
+func TestNewLockUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewLock with unknown kind did not panic")
+		}
+	}()
+	NewLock("bogus")
+}
+
+func TestLockedListSemantics(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Key  uint8
+	}
+	f := func(ops []op) bool {
+		l := NewLockedList[int, int](&sync.Mutex{})
+		model := map[int]int{}
+		v := 0
+		for _, o := range ops {
+			k := int(o.Key % 24)
+			switch o.Kind % 3 {
+			case 0:
+				v++
+				_, exists := model[k]
+				if got := l.Insert(k, v); got != !exists {
+					return false
+				}
+				if !exists {
+					model[k] = v
+				}
+			case 1:
+				_, exists := model[k]
+				if got := l.Delete(k); got != exists {
+					return false
+				}
+				delete(model, k)
+			default:
+				mv, exists := model[k]
+				got, ok := l.Find(k)
+				if ok != exists || (ok && got != mv) {
+					return false
+				}
+			}
+		}
+		return l.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockedListConcurrent(t *testing.T) {
+	for _, kind := range LockKinds() {
+		t.Run(kind, func(t *testing.T) {
+			l := NewLockedList[int, int](NewLock(kind))
+			var wg sync.WaitGroup
+			for g := 0; g < 6; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < 150; i++ {
+						k := g*150 + i
+						if !l.Insert(k, k) {
+							t.Errorf("Insert(%d) failed", k)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			if got := l.Len(); got != 900 {
+				t.Fatalf("Len = %d, want 900", got)
+			}
+		})
+	}
+}
+
+func TestLockedHash(t *testing.T) {
+	var d dict.Dictionary[int, int] = NewLockedHash[int, int](8, dict.HashInt, func() Locker { return &TTAS{} })
+	for k := 0; k < 200; k++ {
+		if !d.Insert(k, k*3) {
+			t.Fatalf("Insert(%d) failed", k)
+		}
+	}
+	for k := 0; k < 200; k++ {
+		if v, ok := d.Find(k); !ok || v != k*3 {
+			t.Fatalf("Find(%d) = %d,%v", k, v, ok)
+		}
+	}
+	for k := 0; k < 200; k += 2 {
+		if !d.Delete(k) {
+			t.Fatalf("Delete(%d) failed", k)
+		}
+	}
+	for k := 0; k < 200; k++ {
+		_, ok := d.Find(k)
+		if want := k%2 == 1; ok != want {
+			t.Fatalf("Find(%d) = %v, want %v", k, ok, want)
+		}
+	}
+}
+
+func TestDelayHookRunsInsideCriticalSection(t *testing.T) {
+	l := NewLockedList[int, int](&sync.Mutex{})
+	var calls atomic.Int64
+	l.Delay = func() { calls.Add(1) }
+	l.Insert(1, 1)
+	l.Find(1)
+	l.Delete(1)
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("delay hook ran %d times, want 3", got)
+	}
+}

@@ -1,0 +1,118 @@
+package universal
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestSemanticsMatchMapModel(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Key  uint8
+	}
+	f := func(ops []op) bool {
+		d := New[int, int]()
+		model := map[int]int{}
+		v := 0
+		for _, o := range ops {
+			k := int(o.Key % 24)
+			switch o.Kind % 3 {
+			case 0:
+				v++
+				_, exists := model[k]
+				if got := d.Insert(k, v); got != !exists {
+					return false
+				}
+				if !exists {
+					model[k] = v
+				}
+			case 1:
+				_, exists := model[k]
+				if got := d.Delete(k); got != exists {
+					return false
+				}
+				delete(model, k)
+			default:
+				mv, exists := model[k]
+				got, ok := d.Find(k)
+				if ok != exists || (ok && got != mv) {
+					return false
+				}
+			}
+		}
+		return d.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentOneWinnerPerKey(t *testing.T) {
+	d := New[int, int]()
+	const (
+		goroutines = 8
+		keys       = 50
+	)
+	var wins atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < keys; k++ {
+				if d.Insert(k, g) {
+					wins.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := wins.Load(); got != keys {
+		t.Fatalf("%d inserts won, want %d", got, keys)
+	}
+	if got := d.Len(); got != keys {
+		t.Fatalf("Len = %d, want %d", got, keys)
+	}
+}
+
+func TestConcurrentConservation(t *testing.T) {
+	d := New[int, int]()
+	var inserts, deletes atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := (g*31 + i) % 48
+				if i%2 == 0 {
+					if d.Insert(k, k) {
+						inserts.Add(1)
+					}
+				} else {
+					if d.Delete(k) {
+						deletes.Add(1)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got, want := int64(d.Len()), inserts.Load()-deletes.Load(); got != want {
+		t.Fatalf("Len = %d, want inserts-deletes = %d", got, want)
+	}
+}
+
+func TestEntriesCopiedGrows(t *testing.T) {
+	d := New[int, int]()
+	for k := 0; k < 100; k++ {
+		d.Insert(k, k)
+	}
+	// Inserting n items one by one copies 0+1+...+(n-1) entries: the
+	// quadratic overhead §2 attributes to universal methods.
+	if got, want := d.EntriesCopied(), int64(100*99/2); got != want {
+		t.Fatalf("EntriesCopied = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,86 @@
+package valois
+
+import (
+	"valois/internal/mm"
+	"valois/internal/queue"
+)
+
+// Queue is a lock-free multi-producer multi-consumer FIFO queue, after
+// the author's companion paper on lock-free queues (reference [27] of the
+// paper). All methods are safe for concurrent use.
+type Queue[T any] struct {
+	q *queue.Queue[T]
+}
+
+// NewQueue returns an empty queue.
+func NewQueue[T any]() *Queue[T] {
+	return &Queue[T]{q: queue.NewQueue[T]()}
+}
+
+// Enqueue appends value at the back of the queue.
+func (q *Queue[T]) Enqueue(value T) { q.q.Enqueue(value) }
+
+// Dequeue removes and returns the front value, reporting false if the
+// queue was empty.
+func (q *Queue[T]) Dequeue() (T, bool) { return q.q.Dequeue() }
+
+// Empty reports whether the queue was observed empty.
+func (q *Queue[T]) Empty() bool { return q.q.Empty() }
+
+// Len counts the queued items by traversal (a snapshot).
+func (q *Queue[T]) Len() int { return q.q.Len() }
+
+// ManagedQueue is the lock-free FIFO queue running on the paper's §5
+// memory manager, so that under RC its nodes are recycled through the
+// lock-free free list with SafeRead/Release (the plain Queue leans on the
+// garbage collector instead). All methods are safe for concurrent use.
+type ManagedQueue[T any] struct {
+	q *queue.MMQueue[T]
+}
+
+// NewManagedQueue returns an empty queue under the given memory mode.
+func NewManagedQueue[T any](mode MemoryMode) *ManagedQueue[T] {
+	return &ManagedQueue[T]{q: queue.NewMMQueue(mm.NewManager[T](mode.mode()))}
+}
+
+// Enqueue appends value at the back of the queue; it returns false only
+// when a capacity-bounded manager is exhausted.
+func (q *ManagedQueue[T]) Enqueue(value T) bool { return q.q.Enqueue(value) }
+
+// Dequeue removes and returns the front value, reporting false if the
+// queue was empty.
+func (q *ManagedQueue[T]) Dequeue() (T, bool) { return q.q.Dequeue() }
+
+// Empty reports whether the queue was observed empty.
+func (q *ManagedQueue[T]) Empty() bool { return q.q.Empty() }
+
+// Len counts the queued items by traversal (a snapshot).
+func (q *ManagedQueue[T]) Len() int { return q.q.Len() }
+
+// Close releases the queue's cells; call only at quiescence.
+func (q *ManagedQueue[T]) Close() { q.q.Close() }
+
+// Stack is a lock-free LIFO stack — the same structure the paper's §5.2
+// free list uses (Figures 17 and 18). All methods are safe for concurrent
+// use.
+type Stack[T any] struct {
+	s *queue.Stack[T]
+}
+
+// NewStack returns an empty stack.
+func NewStack[T any]() *Stack[T] {
+	return &Stack[T]{s: queue.NewStack[T]()}
+}
+
+// Push places value on top of the stack.
+func (s *Stack[T]) Push(value T) { s.s.Push(value) }
+
+// Pop removes and returns the top value, reporting false if the stack was
+// empty.
+func (s *Stack[T]) Pop() (T, bool) { return s.s.Pop() }
+
+// Empty reports whether the stack was observed empty.
+func (s *Stack[T]) Empty() bool { return s.s.Empty() }
+
+// Len counts the stacked items by traversal (a snapshot).
+func (s *Stack[T]) Len() int { return s.s.Len() }

@@ -1,0 +1,162 @@
+// Package valois is a Go implementation of the lock-free data structures
+// of John D. Valois, "Lock-Free Linked Lists Using Compare-and-Swap"
+// (PODC 1995): a non-blocking singly-linked list supporting concurrent
+// traversal, insertion, and deletion at arbitrary positions through
+// cursors (§3), the four dictionary structures built on it — sorted list,
+// hash table, skip list, and binary search tree (§4) — and the paper's
+// reference-counted memory management scheme (§5).
+//
+// # Quick start
+//
+//	l := valois.NewList[string](valois.GC)
+//	c := l.Cursor()
+//	c.Insert("world")
+//	c.Insert("hello")
+//	for !c.End() {
+//	    fmt.Println(c.Item())
+//	    c.Next()
+//	}
+//	c.Close()
+//
+// Every structure is safe for any number of concurrent goroutines and
+// non-blocking: a stalled goroutine never prevents others from completing
+// their operations (see the bst package documentation for the one
+// paper-inherited caveat on two-child tree deletions).
+//
+// # Memory modes
+//
+// Each constructor takes a MemoryMode. GC relies on the Go garbage
+// collector for cell reclamation — the natural choice in Go, and what the
+// paper's §5.1 argument reduces to under tracing collection. RC
+// reproduces the paper's own scheme: cells recycled through a lock-free
+// free list and protected from the ABA problem by reference counts
+// manipulated with SafeRead and Release. RC is exact (cells are reclaimed
+// the moment the last reference disappears) but pays two atomic updates
+// per pointer traversal; GC is faster and is the default recommendation.
+package valois
+
+import (
+	"valois/internal/core"
+	"valois/internal/mm"
+)
+
+// MemoryMode selects how a structure's cells are reclaimed.
+type MemoryMode int
+
+const (
+	// GC uses the Go garbage collector (no reference counting).
+	GC MemoryMode = iota + 1
+	// RC uses the paper's §5 reference-count scheme with a lock-free
+	// free list.
+	RC
+)
+
+func (m MemoryMode) mode() mm.Mode {
+	if m == RC {
+		return mm.ModeRC
+	}
+	return mm.ModeGC
+}
+
+// String returns "gc" or "rc".
+func (m MemoryMode) String() string { return m.mode().String() }
+
+// List is a lock-free singly-linked list of items of type T (§3). All
+// methods are safe for concurrent use; each goroutine traverses and edits
+// the list through its own Cursor.
+type List[T any] struct {
+	list *core.List[T]
+}
+
+// NewList returns an empty list under the given memory mode.
+func NewList[T any](mode MemoryMode) *List[T] {
+	return &List[T]{list: core.New(mm.NewManager[T](mode.mode()))}
+}
+
+// Cursor returns a new cursor visiting the first item of the list (or the
+// end-of-list position if the list is empty).
+func (l *List[T]) Cursor() *Cursor[T] {
+	return &Cursor[T]{c: l.list.NewCursor(), l: l.list}
+}
+
+// Len reports the number of items by traversal; under concurrent updates
+// it is a snapshot.
+func (l *List[T]) Len() int { return l.list.Len() }
+
+// Items returns a snapshot of the items in list order.
+func (l *List[T]) Items() []T { return l.list.Items() }
+
+// Close releases the list's cells. Under RC it must only be called after
+// every cursor is closed and no operations are in flight; under GC it is
+// optional.
+func (l *List[T]) Close() { l.list.Close() }
+
+// Cursor is a position in a List (§2.1/§3). It is owned by one goroutine;
+// the list it traverses may be shared. A cursor remains usable across
+// concurrent modifications of the list by other goroutines, including
+// deletion of the very cell it is visiting (cell persistence, §2.2).
+type Cursor[T any] struct {
+	c *core.Cursor[T]
+	l *core.List[T]
+}
+
+// Reset moves the cursor back to the first position of the list.
+func (c *Cursor[T]) Reset() { c.c.Reset() }
+
+// End reports whether the cursor is at the end-of-list position.
+func (c *Cursor[T]) End() bool { return c.c.End() }
+
+// Item returns the item at the cursor's position. It must not be called
+// at the end-of-list position.
+func (c *Cursor[T]) Item() T { return c.c.Item() }
+
+// Next advances the cursor one position, returning false at the end of
+// the list.
+func (c *Cursor[T]) Next() bool { return c.c.Next() }
+
+// OnDeleted reports whether the visited item has been deleted from the
+// list by some goroutine. The item remains readable and the cursor can
+// still advance past it.
+func (c *Cursor[T]) OnDeleted() bool { return c.c.OnDeleted() }
+
+// Insert inserts item at the position immediately preceding the cursor's,
+// retrying (Figure 12's loop) until it succeeds. The cursor afterwards
+// visits the first live position at or after the insertion point; callers
+// that need an exact position should re-establish it, as concurrent
+// operations may have moved it.
+func (c *Cursor[T]) Insert(item T) {
+	q, a := c.l.AllocInsertNodes(item)
+	for !c.c.TryInsert(q, a) {
+		c.c.Update()
+	}
+	c.l.ReleaseNodes(q, a)
+	c.c.Update()
+}
+
+// TryInsert attempts a single insertion of item before the cursor's
+// position, reporting whether it succeeded. On failure the list near the
+// cursor changed; call Update and retry, as Figure 12 does, possibly
+// after re-checking the position.
+func (c *Cursor[T]) TryInsert(item T) bool {
+	q, a := c.l.AllocInsertNodes(item)
+	if c.c.TryInsert(q, a) {
+		c.l.ReleaseNodes(q, a)
+		return true
+	}
+	c.l.ReleaseNodes(q, a)
+	return false
+}
+
+// TryDelete attempts to delete the item the cursor is visiting, reporting
+// whether this cursor's attempt won (Figure 10). It returns false if the
+// cursor is at the end of the list or a concurrent operation invalidated
+// it; call Update and retry if the item is still there.
+func (c *Cursor[T]) TryDelete() bool { return c.c.TryDelete() }
+
+// Update revalidates the cursor after a failed TryInsert or TryDelete,
+// skipping and cleaning up auxiliary nodes (Figure 5).
+func (c *Cursor[T]) Update() { c.c.Update() }
+
+// Close releases the cursor's references. Required under RC; harmless
+// under GC. The cursor must not be used afterwards.
+func (c *Cursor[T]) Close() { c.c.Close() }
