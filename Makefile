@@ -1,0 +1,35 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# commands; keep the two in sync.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+# Stress divisor for the race run: the detector slows execution ~10x,
+# so shrink the stress loops by the same factor (see internal/testenv).
+RACE_STRESS_DIV ?= 10
+
+.PHONY: build test race lint fuzz-short fmt-check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	VALOIS_STRESS_DIV=$(RACE_STRESS_DIV) $(GO) test -race -count=1 ./internal/...
+
+# lint = the stock vet pass, the gofmt check, and the lock-free
+# invariant analyzers (cmd/lfcheck).
+lint: fmt-check
+	$(GO) vet ./...
+	$(GO) run ./cmd/lfcheck ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+fuzz-short:
+	$(GO) test -run='^$$' -fuzz=FuzzDictionarySemantics -fuzztime=$(FUZZTIME) ./internal/dict
+	$(GO) test -run='^$$' -fuzz=FuzzAllocFree -fuzztime=$(FUZZTIME) ./internal/buddy

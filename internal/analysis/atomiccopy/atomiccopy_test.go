@@ -1,0 +1,12 @@
+package atomiccopy_test
+
+import (
+	"testing"
+
+	"valois/internal/analysis/analysistest"
+	"valois/internal/analysis/atomiccopy"
+)
+
+func TestAtomicCopy(t *testing.T) {
+	analysistest.Run(t, "testdata", atomiccopy.Analyzer, "a")
+}

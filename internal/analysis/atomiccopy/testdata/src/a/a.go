@@ -1,0 +1,54 @@
+// Package a is the atomiccopy fixture: values containing sync/atomic
+// fields must move by pointer, never by copy.
+package a
+
+import "sync/atomic"
+
+type node struct {
+	next  atomic.Pointer[node]
+	refct atomic.Int64
+	item  int
+}
+
+// shards embeds nodes by value in an array: still no copying allowed.
+type shards struct {
+	slots [4]node
+}
+
+func assignCopy(n *node) *node {
+	m := *n // want `assignment copies node`
+	return &m
+}
+
+func identCopy(n node) int { // want `parameter type node contains sync/atomic values`
+	m := n // want `assignment copies node`
+	return m.item
+}
+
+func callCopy(n *node) {
+	sink(*n) // want `call passes node`
+}
+
+func sink(n node) {} // want `parameter type node contains sync/atomic values`
+
+func returnCopy(n *node) node { // want `result type node contains sync/atomic values`
+	return *n // want `return copies node`
+}
+
+func rangeCopy(s *shards) int {
+	total := 0
+	for _, n := range s.slots { // want `range copies node`
+		total += n.item
+	}
+	return total
+}
+
+func fine(n *node) *node {
+	fresh := node{item: 1} // ok: composite literal constructs a fresh value
+	_ = fresh.item         // ok: copies only the plain int field
+	p := n                 // ok: copying the pointer
+	for i := range p.next.Load().item {
+		_ = i // ok: index-only range
+	}
+	return p
+}

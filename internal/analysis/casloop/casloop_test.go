@@ -1,0 +1,12 @@
+package casloop_test
+
+import (
+	"testing"
+
+	"valois/internal/analysis/analysistest"
+	"valois/internal/analysis/casloop"
+)
+
+func TestCASLoop(t *testing.T) {
+	analysistest.Run(t, "testdata", casloop.Analyzer, "a")
+}

@@ -1,0 +1,106 @@
+// Package a is the casloop fixture: CAS retry loops must re-load their
+// expected value and must not block.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// staleMethod never re-loads head inside the loop: after one failure the
+// CAS can never succeed.
+func staleMethod(head *atomic.Int64, next int64) {
+	old := head.Load()
+	for !head.CompareAndSwap(old, next) { // want `expected value old is never re-loaded`
+	}
+}
+
+// staleFn is the same bug through the sync/atomic function form.
+func staleFn(addr *int64, next int64) {
+	old := atomic.LoadInt64(addr)
+	for {
+		if atomic.CompareAndSwapInt64(addr, old, next) { // want `expected value old is never re-loaded`
+			return
+		}
+	}
+}
+
+// staleInit declares the expected value in the loop init, which still runs
+// only once.
+func staleInit(head *atomic.Int64, next int64) {
+	for old := head.Load(); !head.CompareAndSwap(old, next); { // want `expected value old is never re-loaded`
+	}
+}
+
+// reloaded is the correct shape of Figures 17/18: the expected value is
+// read fresh each iteration.
+func reloaded(head *atomic.Int64, delta int64) {
+	for {
+		old := head.Load() // ok: per-iteration load
+		if head.CompareAndSwap(old, old+delta) {
+			return
+		}
+	}
+}
+
+// reassigned re-loads into a variable declared outside the loop, which is
+// equally fine.
+func reassigned(head *atomic.Int64, delta int64) {
+	old := head.Load()
+	for !head.CompareAndSwap(old, old+delta) {
+		old = head.Load() // ok: re-loaded before retrying
+	}
+}
+
+// constExpected spins waiting for a state another goroutine sets; the
+// expected value is a constant, not a stale snapshot.
+func constExpected(state *atomic.Int32) {
+	const idle = 0
+	for !state.CompareAndSwap(idle, 1) { // ok: constant expected value
+	}
+}
+
+// blocking shows each forbidden operation inside a retry loop.
+func blocking(head *atomic.Int64, mu *sync.Mutex, ch chan int) {
+	for {
+		old := head.Load()
+		time.Sleep(time.Millisecond) // want `time.Sleep inside a CAS retry loop`
+		mu.Lock()                    // want `sync.Mutex.Lock inside a CAS retry loop`
+		<-ch                         // want `channel receive inside a CAS retry loop`
+		ch <- 1                      // want `channel send inside a CAS retry loop`
+		if head.CompareAndSwap(old, old+1) {
+			return
+		}
+	}
+}
+
+// outerLoopMaySleep: the sleep sits in the outer loop; only the inner loop
+// is the CAS hot path, so the sleep is fine.
+func outerLoopMaySleep(head *atomic.Int64) {
+	for {
+		time.Sleep(time.Millisecond) // ok: not in the innermost CAS loop
+		for {
+			old := head.Load()
+			if head.CompareAndSwap(old, old+1) {
+				break
+			}
+		}
+	}
+}
+
+// closuresAreSeparate: a CAS loop inside a function literal does not make
+// the enclosing loop a hot path.
+func closuresAreSeparate(head *atomic.Int64, ch chan func()) {
+	for {
+		f := func() {
+			for {
+				old := head.Load()
+				if head.CompareAndSwap(old, old+1) {
+					return
+				}
+			}
+		}
+		ch <- f // ok: enclosing loop has no CAS of its own
+	}
+}

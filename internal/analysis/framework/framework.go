@@ -1,0 +1,59 @@
+// Package framework is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis API surface that the lfcheck suite needs.
+//
+// The container this repository builds in has no module proxy access, so
+// the canonical go/analysis machinery cannot be vendored. The subset here
+// keeps the same shape — an Analyzer value with a Run(*Pass) function that
+// reports Diagnostics — so each checker under internal/analysis can be
+// ported to the real framework by swapping one import when the dependency
+// becomes available. Package loading is built on `go list -json -deps` plus
+// go/parser and go/types, type-checking the dependency closure from source
+// (the approach of go/internal/srcimporter).
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check, mirroring analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -checks filters.
+	// It must be a valid Go identifier.
+	Name string
+
+	// Doc is the analyzer's documentation; the first line is used as a
+	// summary in the multichecker's usage text.
+	Doc string
+
+	// Run applies the analyzer to a package.
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass provides one analyzer with the parsed, type-checked syntax of one
+// package, mirroring analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers a diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is a message associated with a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

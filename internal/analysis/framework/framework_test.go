@@ -1,0 +1,81 @@
+package framework
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+)
+
+// TestLoadTypeChecksFromSource loads a real package of this module through
+// the go-list loader and checks that syntax and type information arrive.
+func TestLoadTypeChecksFromSource(t *testing.T) {
+	ld := NewLoader("")
+	pkgs, err := ld.Load("valois/internal/primitive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if len(pkg.Errors) > 0 {
+		t.Fatalf("package has errors: %v", pkg.Errors)
+	}
+	if pkg.Name != "primitive" {
+		t.Fatalf("package name = %q, want primitive", pkg.Name)
+	}
+	if len(pkg.Syntax) == 0 {
+		t.Fatal("no syntax trees")
+	}
+	if pkg.Types == nil || pkg.TypesInfo == nil {
+		t.Fatal("missing type information")
+	}
+	// The loader must have resolved sync/atomic (a dependency) from source.
+	if _, err := ld.Import("sync/atomic"); err != nil {
+		t.Fatalf("importing sync/atomic: %v", err)
+	}
+}
+
+// TestRunReportsDiagnosticsSorted runs a toy analyzer that flags every
+// function declaration, and checks driver plumbing end to end.
+func TestRunReportsDiagnosticsSorted(t *testing.T) {
+	toy := &Analyzer{
+		Name: "toyfuncs",
+		Doc:  "flag every function declaration (driver smoke test)",
+		Run: func(pass *Pass) (any, error) {
+			for _, f := range pass.Files {
+				for _, d := range f.Decls {
+					if fn, ok := d.(*ast.FuncDecl); ok {
+						pass.Reportf(fn.Pos(), "func %s", fn.Name.Name)
+					}
+				}
+			}
+			return nil, nil
+		},
+	}
+	diags, err := Run(NewLoader(""), []*Analyzer{toy}, []string{"valois/internal/primitive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("toy analyzer reported nothing")
+	}
+	seen := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "CompareAndSwap") {
+			seen = true
+		}
+		if d.Analyzer != "toyfuncs" {
+			t.Fatalf("diagnostic attributed to %q", d.Analyzer)
+		}
+	}
+	if !seen {
+		t.Fatalf("expected a diagnostic for CompareAndSwap, got %v", diags)
+	}
+	for i := 1; i < len(diags); i++ {
+		if diags[i-1].Position.Filename == diags[i].Position.Filename &&
+			diags[i-1].Position.Line > diags[i].Position.Line {
+			t.Fatalf("diagnostics not sorted: %v before %v", diags[i-1], diags[i])
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package framework
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Main runs the given analyzers over the packages matching the command-line
+// patterns (default "./...") and exits with status 1 if any diagnostics
+// were reported, 2 on loading or analyzer failures, and 0 otherwise — the
+// exit convention of go vet.
+//
+// Flags:
+//
+//	-checks a,b  run only the named analyzers
+//	-list        print the available analyzers and exit
+func Main(analyzers ...*Analyzer) {
+	checks := flag.String("checks", "", "comma-separated list of analyzers to run (default: all)")
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: %s [flags] [packages]\n\nAnalyzers:\n", os.Args[0])
+		for _, a := range analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return
+	}
+
+	selected := analyzers
+	if *checks != "" {
+		byName := make(map[string]*Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, name := range strings.Split(*checks, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "lfcheck: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	diags, err := Run(NewLoader(""), selected, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lfcheck: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s\n", d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// RunDiagnostic is one analyzer finding, positioned and printable.
+type RunDiagnostic struct {
+	Position token.Position
+	Message  string
+	Analyzer string
+}
+
+func (d RunDiagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Position, d.Message, d.Analyzer)
+}
+
+// Run loads the patterns through ld and applies each analyzer to each
+// matched package, returning the diagnostics sorted by position. Load or
+// type-check errors in the target packages are returned as an error: the
+// analyzers' results would not be trustworthy on broken packages.
+func Run(ld *Loader, analyzers []*Analyzer, patterns []string) ([]RunDiagnostic, error) {
+	pkgs, err := ld.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var diags []RunDiagnostic
+	for _, pkg := range pkgs {
+		if len(pkg.Errors) > 0 {
+			return nil, fmt.Errorf("package %s did not type-check: %v", pkg.PkgPath, pkg.Errors[0])
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d Diagnostic) {
+				diags = append(diags, RunDiagnostic{
+					Position: pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+					Analyzer: a.Name,
+				})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := diags[i].Position, diags[j].Position
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

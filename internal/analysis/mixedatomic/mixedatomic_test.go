@@ -1,0 +1,12 @@
+package mixedatomic_test
+
+import (
+	"testing"
+
+	"valois/internal/analysis/analysistest"
+	"valois/internal/analysis/mixedatomic"
+)
+
+func TestMixedAtomic(t *testing.T) {
+	analysistest.Run(t, "testdata", mixedatomic.Analyzer, "a")
+}

@@ -1,0 +1,36 @@
+// Package a is the mixedatomic fixture: counter fields accessed through
+// sync/atomic must not also be read or written plainly.
+package a
+
+import "sync/atomic"
+
+type counters struct {
+	hits   int64 // accessed via sync/atomic below: plain access is a race
+	misses int64 // accessed via sync/atomic below
+	plain  int64 // never accessed atomically: plain access is fine
+}
+
+func record(c *counters) {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.StoreInt64(&c.misses, 0)
+	c.plain++ // ok: not an atomic field
+}
+
+func raceyRead(c *counters) int64 {
+	return c.hits // want `plain access to field hits`
+}
+
+func raceyWrite(c *counters) {
+	c.misses = 0 // want `plain access to field misses`
+}
+
+func fine(c *counters) int64 {
+	n := atomic.LoadInt64(&c.hits) // ok: atomic access
+	return n + c.plain             // ok: plain field stays plain
+}
+
+// construct initializes by composite literal, which is idiomatic before
+// the value is published and deliberately not flagged.
+func construct() *counters {
+	return &counters{hits: 0}
+}

@@ -1,0 +1,690 @@
+// Package saferead defines an analyzer that checks SafeRead/Release
+// balance along control-flow paths.
+//
+// Under the paper's reference-counting scheme (§5, Figures 15 and 16)
+// every SafeRead acquires a counted reference that must eventually be
+// handed back with Release — a reference that is forgotten on even one
+// path can never be reclaimed, and the cell (plus everything reachable
+// through its counted links) leaks. This is the protocol-violation class
+// Michael & Scott's correction note and later surveys identify as the
+// dominant source of bugs in reference-counted lock-free structures.
+//
+// The analyzer tracks local variables assigned from a call to a function
+// or method named SafeRead (or the unexported safeRead wrapper idiom) and
+// abstractly interprets the function body path by path. A tracked
+// reference is considered resolved when it
+//
+//   - is passed as an argument to any call (Release, ReleaseNodes, or any
+//     other function that could assume ownership),
+//   - is returned (ownership transfers to the caller),
+//   - is stored into a struct field, slice, map, global, or dereference
+//     (ownership transfers to the structure),
+//   - is captured by a function literal or sent on a channel,
+//   - is transferred to another local variable (which inherits the
+//     obligation), or
+//   - is known to be nil on the current path (guarded by == nil / != nil).
+//
+// A diagnostic is reported when a path reaches a return (or the end of the
+// function) with an unresolved reference, when a SafeRead result is
+// discarded outright, and when a live reference is overwritten.
+//
+// Loops are interpreted for at most one iteration (zero-or-one unrolling),
+// and short-circuit condition evaluation is approximated by evaluating the
+// whole condition on every path, so the analysis errs toward leniency: it
+// will miss some leaks but does not flag correct code.
+package saferead
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"valois/internal/analysis/framework"
+)
+
+// Analyzer reports SafeRead references that may escape Release.
+var Analyzer = &framework.Analyzer{
+	Name: "saferead",
+	Doc:  "report SafeRead results that are not Released on every path",
+	Run:  run,
+}
+
+// maxStates bounds the number of distinct path states carried through a
+// function; beyond it, excess states are dropped (under-approximation:
+// fewer reports, never spurious ones).
+const maxStates = 64
+
+func run(pass *framework.Pass) (any, error) {
+	a := &analysis{pass: pass, reported: make(map[token.Pos]bool)}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					a.analyzeFunc(n.Type, n.Body)
+				}
+			case *ast.FuncLit:
+				// Each function literal is its own accounting scope; the
+				// outer scope treats captures as ownership transfers.
+				a.analyzeFunc(n.Type, n.Body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+type analysis struct {
+	pass     *framework.Pass
+	reported map[token.Pos]bool
+	// results holds the named result variables of the function currently
+	// being analyzed: assigning to one transfers ownership to the caller
+	// (the naked-return idiom), so they are never tracked.
+	results map[*types.Var]bool
+}
+
+// state maps each live tracked variable to the position of the SafeRead
+// that created its obligation.
+type state map[*types.Var]token.Pos
+
+func (s state) clone() state {
+	c := make(state, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// outcome is the result of interpreting a statement (or list): the states
+// that fall through, and the states escaping via break or continue.
+type outcome struct {
+	normal []state
+	brk    []state
+	cont   []state
+}
+
+func (a *analysis) analyzeFunc(typ *ast.FuncType, body *ast.BlockStmt) {
+	a.results = make(map[*types.Var]bool)
+	if typ.Results != nil {
+		for _, field := range typ.Results.List {
+			for _, name := range field.Names {
+				if v, ok := a.pass.TypesInfo.Defs[name].(*types.Var); ok {
+					a.results[v] = true
+				}
+			}
+		}
+	}
+	out := a.interpStmts(body.List, []state{make(state)})
+	for _, st := range out.normal {
+		a.leakCheck(st)
+	}
+	// break/continue outside any loop cannot occur in well-typed code.
+}
+
+// report emits one diagnostic per SafeRead site.
+func (a *analysis) report(pos token.Pos, format string, args ...any) {
+	if a.reported[pos] {
+		return
+	}
+	a.reported[pos] = true
+	a.pass.Reportf(pos, format, args...)
+}
+
+func (a *analysis) leakCheck(st state) {
+	for v, pos := range st {
+		a.report(pos, "SafeRead result in %s is not Released on every path through this function", v.Name())
+	}
+}
+
+func (a *analysis) interpStmts(list []ast.Stmt, in []state) outcome {
+	states := in
+	var brk, cont []state
+	for _, s := range list {
+		if len(states) == 0 {
+			break // unreachable (after return/panic/branch)
+		}
+		o := a.interpStmt(s, states)
+		brk = append(brk, o.brk...)
+		cont = append(cont, o.cont...)
+		states = capStates(o.normal)
+	}
+	return outcome{normal: states, brk: brk, cont: cont}
+}
+
+func (a *analysis) interpStmt(s ast.Stmt, in []state) outcome {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := unparen(s.X).(*ast.CallExpr); ok {
+			if a.isSafeReadCall(call) {
+				a.report(call.Pos(), "result of %s is discarded, leaking the acquired reference", calleeName(a.pass, call))
+			}
+			if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				if _, isBuiltin := a.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					for _, st := range in {
+						a.evalExpr(s.X, st, false)
+					}
+					return outcome{} // path terminates
+				}
+			}
+		}
+		for _, st := range in {
+			a.evalExpr(s.X, st, false)
+		}
+		return outcome{normal: in}
+
+	case *ast.AssignStmt:
+		for _, st := range in {
+			a.interpAssign(s, st)
+		}
+		return outcome{normal: in}
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, st := range in {
+					a.interpValueSpec(vs, st)
+				}
+			}
+		}
+		return outcome{normal: in}
+
+	case *ast.ReturnStmt:
+		for _, st := range in {
+			for _, res := range s.Results {
+				a.evalExpr(res, st, true) // returning transfers ownership
+			}
+			a.leakCheck(st)
+		}
+		return outcome{}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			in = a.interpStmt(s.Init, in).normal
+		}
+		for _, st := range in {
+			a.evalExpr(s.Cond, st, false)
+		}
+		thenIn, elseIn := a.applyNilGuard(s.Cond, in)
+		oThen := a.interpStmts(s.Body.List, thenIn)
+		var oElse outcome
+		if s.Else != nil {
+			oElse = a.interpStmt(s.Else, elseIn)
+		} else {
+			oElse.normal = elseIn
+		}
+		return outcome{
+			normal: append(oThen.normal, oElse.normal...),
+			brk:    append(oThen.brk, oElse.brk...),
+			cont:   append(oThen.cont, oElse.cont...),
+		}
+
+	case *ast.BlockStmt:
+		return a.interpStmts(s.List, in)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			in = a.interpStmt(s.Init, in).normal
+		}
+		bodyIn := cloneAll(in)
+		var exits []state
+		if s.Cond != nil {
+			for _, st := range in {
+				a.evalExpr(s.Cond, st, false)
+			}
+			// Exiting because the condition is false refines nil guards
+			// (`for p != nil` means p is nil on exit); the body sees the
+			// condition-true refinement.
+			condTrue, condFalse := a.applyNilGuard(s.Cond, in)
+			bodyIn = condTrue
+			exits = append(exits, condFalse...)
+		}
+		bodyOut := a.interpStmts(s.Body.List, bodyIn)
+		after := append(bodyOut.normal, bodyOut.cont...)
+		if s.Post != nil {
+			after = a.interpStmt(s.Post, after).normal
+		}
+		exits = append(exits, bodyOut.brk...)
+		if s.Cond != nil {
+			// Exit after one iteration, again with the condition false.
+			_, condFalse := a.applyNilGuard(s.Cond, after)
+			exits = append(exits, condFalse...)
+		}
+		return outcome{normal: capStates(exits)}
+
+	case *ast.RangeStmt:
+		for _, st := range in {
+			a.evalExpr(s.X, st, false)
+		}
+		bodyOut := a.interpStmts(s.Body.List, cloneAll(in))
+		exits := append(in, bodyOut.normal...)
+		exits = append(exits, bodyOut.cont...)
+		exits = append(exits, bodyOut.brk...)
+		return outcome{normal: capStates(exits)}
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			in = a.interpStmt(s.Init, in).normal
+		}
+		if s.Tag != nil {
+			for _, st := range in {
+				a.evalExpr(s.Tag, st, false)
+			}
+		}
+		return a.interpCases(s.Body, in, func(cc *ast.CaseClause, st state) {
+			for _, e := range cc.List {
+				a.evalExpr(e, st, false)
+			}
+		})
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			in = a.interpStmt(s.Init, in).normal
+		}
+		if s.Assign != nil {
+			in = a.interpStmt(s.Assign, in).normal
+		}
+		return a.interpCases(s.Body, in, nil)
+
+	case *ast.SelectStmt:
+		var normal []state
+		hasDefault := false
+		for _, clause := range s.Body.List {
+			cc := clause.(*ast.CommClause)
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+			clauseIn := cloneAll(in)
+			if cc.Comm != nil {
+				clauseIn = a.interpStmt(cc.Comm, clauseIn).normal
+			}
+			o := a.interpStmts(cc.Body, clauseIn)
+			normal = append(normal, o.normal...)
+			normal = append(normal, o.brk...) // break exits the select
+		}
+		_ = hasDefault // a select with no default still takes some clause
+		if len(s.Body.List) == 0 {
+			return outcome{} // select{} blocks forever
+		}
+		return outcome{normal: capStates(normal)}
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			return outcome{brk: in}
+		case token.CONTINUE:
+			return outcome{cont: in}
+		case token.GOTO:
+			// Dropping the states under-approximates: no reports along
+			// goto paths rather than spurious ones.
+			return outcome{}
+		default: // fallthrough
+			return outcome{normal: in}
+		}
+
+	case *ast.LabeledStmt:
+		return a.interpStmt(s.Stmt, in)
+
+	case *ast.DeferStmt:
+		for _, st := range in {
+			a.evalExpr(s.Call, st, false)
+		}
+		return outcome{normal: in}
+
+	case *ast.GoStmt:
+		for _, st := range in {
+			a.evalExpr(s.Call, st, false)
+		}
+		return outcome{normal: in}
+
+	case *ast.SendStmt:
+		for _, st := range in {
+			a.evalExpr(s.Chan, st, false)
+			a.evalExpr(s.Value, st, true) // sending transfers ownership
+		}
+		return outcome{normal: in}
+
+	case *ast.IncDecStmt:
+		for _, st := range in {
+			a.evalExpr(s.X, st, false)
+		}
+		return outcome{normal: in}
+
+	default: // EmptyStmt and anything unanticipated: no effect
+		return outcome{normal: in}
+	}
+}
+
+// interpCases interprets a switch body: the union of all case outcomes,
+// plus fallthrough of the whole switch when there is no default clause.
+// break escapes the switch, not an enclosing loop.
+func (a *analysis) interpCases(body *ast.BlockStmt, in []state, evalCase func(*ast.CaseClause, state)) outcome {
+	var normal, cont []state
+	hasDefault := false
+	for _, clause := range body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		clauseIn := cloneAll(in)
+		if evalCase != nil {
+			for _, st := range clauseIn {
+				evalCase(cc, st)
+			}
+		}
+		o := a.interpStmts(cc.Body, clauseIn)
+		normal = append(normal, o.normal...)
+		normal = append(normal, o.brk...) // break exits the switch
+		cont = append(cont, o.cont...)
+	}
+	if !hasDefault {
+		normal = append(normal, in...)
+	}
+	return outcome{normal: capStates(normal), cont: cont}
+}
+
+// interpAssign applies one assignment statement to one state.
+func (a *analysis) interpAssign(s *ast.AssignStmt, st state) {
+	if len(s.Lhs) == len(s.Rhs) {
+		for i := range s.Rhs {
+			a.assignOne(s.Lhs[i], s.Rhs[i], st)
+		}
+		return
+	}
+	// Tuple assignment: evaluate the source, then treat every destination
+	// as plainly overwritten.
+	for _, rhs := range s.Rhs {
+		a.evalExpr(rhs, st, false)
+	}
+	for _, lhs := range s.Lhs {
+		a.overwriteCheck(lhs, st)
+		a.evalExpr(lhs, st, false)
+	}
+}
+
+// interpValueSpec handles `var q = m.SafeRead(...)` declarations.
+func (a *analysis) interpValueSpec(vs *ast.ValueSpec, st state) {
+	if len(vs.Names) == len(vs.Values) {
+		for i := range vs.Values {
+			a.assignOne(vs.Names[i], vs.Values[i], st)
+		}
+		return
+	}
+	for _, v := range vs.Values {
+		a.evalExpr(v, st, false)
+	}
+}
+
+func (a *analysis) assignOne(lhs, rhs ast.Expr, st state) {
+	// A SafeRead call assigned to a local variable starts an obligation.
+	if call, ok := unparen(rhs).(*ast.CallExpr); ok && a.isSafeReadCall(call) {
+		a.evalExpr(call, st, false)
+		if lv := a.localVar(lhs); lv != nil {
+			a.overwriteCheck(lhs, st)
+			st[lv] = call.Pos()
+			return
+		}
+		// Stored straight into a field or element: ownership transferred.
+		a.evalExpr(lhs, st, false)
+		return
+	}
+	// Transferring a tracked reference between variables moves the
+	// obligation; storing it anywhere else resolves it.
+	if rv := a.trackedIdent(rhs, st); rv != nil {
+		if lv := a.localVar(lhs); lv != nil {
+			if lv == rv {
+				return
+			}
+			pos := st[rv]
+			delete(st, rv)
+			a.overwriteCheck(lhs, st)
+			st[lv] = pos
+			return
+		}
+		delete(st, rv)
+		a.evalExpr(lhs, st, false)
+		return
+	}
+	// Plain assignment: storing into a non-local destination lets any
+	// tracked variables inside rhs escape.
+	a.evalExpr(rhs, st, a.localVar(lhs) == nil)
+	a.overwriteCheck(lhs, st)
+	a.evalExpr(lhs, st, false)
+}
+
+// overwriteCheck reports and clears an obligation when its variable is
+// about to be overwritten while still live.
+func (a *analysis) overwriteCheck(lhs ast.Expr, st state) {
+	lv := a.localVar(lhs)
+	if lv == nil {
+		return
+	}
+	if pos, held := st[lv]; held {
+		a.report(pos, "SafeRead result in %s is overwritten before being Released", lv.Name())
+		delete(st, lv)
+	}
+}
+
+// evalExpr walks an expression, resolving tracked variables that occur in
+// ownership-transferring positions. resolving reports whether e itself is
+// in such a position (call argument, return value, composite element, ...).
+func (a *analysis) evalExpr(e ast.Expr, st state, resolving bool) {
+	switch e := e.(type) {
+	case nil:
+		return
+	case *ast.Ident:
+		if resolving {
+			if v, ok := a.pass.TypesInfo.Uses[e].(*types.Var); ok {
+				delete(st, v)
+			}
+		}
+	case *ast.ParenExpr:
+		a.evalExpr(e.X, st, resolving)
+	case *ast.SelectorExpr:
+		a.evalExpr(e.X, st, false) // q.Item, q.Next(): plain use, not a transfer
+	case *ast.StarExpr:
+		a.evalExpr(e.X, st, false)
+	case *ast.UnaryExpr:
+		a.evalExpr(e.X, st, e.Op == token.AND) // &q lets the reference escape
+	case *ast.BinaryExpr:
+		a.evalExpr(e.X, st, false)
+		a.evalExpr(e.Y, st, false)
+	case *ast.CallExpr:
+		a.evalExpr(e.Fun, st, false)
+		for _, arg := range e.Args {
+			a.evalExpr(arg, st, true) // the callee may assume ownership
+		}
+	case *ast.IndexExpr:
+		a.evalExpr(e.X, st, resolving)
+		a.evalExpr(e.Index, st, false)
+	case *ast.IndexListExpr:
+		a.evalExpr(e.X, st, resolving)
+	case *ast.SliceExpr:
+		a.evalExpr(e.X, st, false)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			a.evalExpr(elt, st, true)
+		}
+	case *ast.KeyValueExpr:
+		a.evalExpr(e.Value, st, true)
+	case *ast.TypeAssertExpr:
+		a.evalExpr(e.X, st, resolving)
+	case *ast.FuncLit:
+		// Captured tracked variables escape into the closure.
+		ast.Inspect(e.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if v, ok := a.pass.TypesInfo.Uses[id].(*types.Var); ok {
+					delete(st, v)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// applyNilGuard refines the then/else input states for conditions of the
+// form `x == nil` and `x != nil`: a reference known to be nil carries no
+// obligation on that branch.
+func (a *analysis) applyNilGuard(cond ast.Expr, in []state) (thenIn, elseIn []state) {
+	thenIn, elseIn = cloneAll(in), cloneAll(in)
+	be, ok := unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return thenIn, elseIn
+	}
+	var v *types.Var
+	if a.isNil(be.Y) {
+		v = a.varOf(be.X)
+	} else if a.isNil(be.X) {
+		v = a.varOf(be.Y)
+	}
+	if v == nil {
+		return thenIn, elseIn
+	}
+	nilSide := thenIn
+	if be.Op == token.NEQ {
+		nilSide = elseIn
+	}
+	for _, st := range nilSide {
+		delete(st, v)
+	}
+	return thenIn, elseIn
+}
+
+func (a *analysis) isNil(e ast.Expr) bool {
+	tv, ok := a.pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}
+
+func (a *analysis) varOf(e ast.Expr) *types.Var {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := a.pass.TypesInfo.Uses[id].(*types.Var)
+	return v
+}
+
+// localVar returns the function-local, non-blank variable an lvalue
+// denotes, or nil. Package-level variables are shared state and treated as
+// escapes, not obligations.
+func (a *analysis) localVar(e ast.Expr) *types.Var {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	obj := a.pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = a.pass.TypesInfo.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() || a.results[v] {
+		return nil
+	}
+	if v.Parent() == nil || v.Parent() == a.pass.Pkg.Scope() {
+		return nil
+	}
+	return v
+}
+
+// trackedIdent returns the tracked variable e denotes in st, or nil.
+func (a *analysis) trackedIdent(e ast.Expr, st state) *types.Var {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := a.pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok {
+		return nil
+	}
+	if _, held := st[v]; !held {
+		return nil
+	}
+	return v
+}
+
+// isSafeReadCall recognizes calls to functions or methods named SafeRead
+// or safeRead that return a single pointer.
+func (a *analysis) isSafeReadCall(call *ast.CallExpr) bool {
+	name := calleeName(a.pass, call)
+	if name != "SafeRead" && name != "safeRead" {
+		return false
+	}
+	tv, ok := a.pass.TypesInfo.Types[call]
+	if !ok {
+		return false
+	}
+	_, isPtr := tv.Type.Underlying().(*types.Pointer)
+	return isPtr
+}
+
+// calleeName returns the simple name of the called function or method.
+func calleeName(pass *framework.Pass, call *ast.CallExpr) string {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	case *ast.Ident:
+		return fun.Name
+	}
+	return ""
+}
+
+func cloneAll(in []state) []state {
+	out := make([]state, len(in))
+	for i, st := range in {
+		out[i] = st.clone()
+	}
+	return out
+}
+
+// capStates deduplicates identical states and drops the excess beyond
+// maxStates.
+func capStates(in []state) []state {
+	if len(in) <= 1 {
+		return in
+	}
+	var out []state
+	for _, st := range in {
+		dup := false
+		for _, prev := range out {
+			if statesEqual(st, prev) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, st)
+		}
+		if len(out) == maxStates {
+			break
+		}
+	}
+	return out
+}
+
+func statesEqual(a, b state) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

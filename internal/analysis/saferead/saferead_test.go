@@ -1,0 +1,12 @@
+package saferead_test
+
+import (
+	"testing"
+
+	"valois/internal/analysis/analysistest"
+	"valois/internal/analysis/saferead"
+)
+
+func TestSafeRead(t *testing.T) {
+	analysistest.Run(t, "testdata", saferead.Analyzer, "a")
+}

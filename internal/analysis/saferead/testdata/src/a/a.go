@@ -1,0 +1,140 @@
+// Package a is the saferead fixture: every SafeRead must reach a Release
+// (or an ownership transfer) on all control-flow paths.
+package a
+
+import "sync/atomic"
+
+type node struct {
+	next atomic.Pointer[node]
+	ref  atomic.Int64
+	item int
+}
+
+type mgr struct {
+	head  atomic.Pointer[node]
+	cache *node
+}
+
+// SafeRead acquires a counted reference (Figure 15 shape).
+func (m *mgr) SafeRead(p *atomic.Pointer[node]) *node {
+	for {
+		q := p.Load()
+		if q == nil {
+			return nil
+		}
+		q.ref.Add(1)
+		if q == p.Load() {
+			return q
+		}
+		m.Release(q)
+	}
+}
+
+// Release drops a counted reference (Figure 16 shape).
+func (m *mgr) Release(n *node) {
+	if n != nil {
+		n.ref.Add(-1)
+	}
+}
+
+// leakStraightLine never releases the reference at all.
+func leakStraightLine(m *mgr) int {
+	q := m.SafeRead(&m.head) // want `SafeRead result in q is not Released on every path`
+	return q.item
+}
+
+// leakOnEarlyReturn releases on the main path but not before the guard
+// clause returns.
+func leakOnEarlyReturn(m *mgr, limit int) int {
+	q := m.SafeRead(&m.head) // want `SafeRead result in q is not Released on every path`
+	if limit == 0 {
+		return -1 // leaks q
+	}
+	v := q.item
+	m.Release(q)
+	return v
+}
+
+// leakDiscarded drops the result on the floor.
+func leakDiscarded(m *mgr) {
+	m.SafeRead(&m.head) // want `result of SafeRead is discarded`
+}
+
+// leakOverwrite re-reads into the same variable while the first reference
+// is still live.
+func leakOverwrite(m *mgr) {
+	q := m.SafeRead(&m.head) // want `SafeRead result in q is overwritten before being Released`
+	q = m.SafeRead(&m.head)
+	m.Release(q)
+}
+
+// balanced is the canonical shape: nil-guard, use, Release.
+func balanced(m *mgr) int {
+	q := m.SafeRead(&m.head)
+	if q == nil {
+		return 0
+	}
+	v := q.item
+	m.Release(q)
+	return v
+}
+
+// transferred hands the obligation to another variable and releases that.
+func transferred(m *mgr) {
+	q := m.SafeRead(&m.head)
+	p := q
+	m.Release(p)
+}
+
+// returned transfers ownership to the caller.
+func returned(m *mgr) *node {
+	q := m.SafeRead(&m.head)
+	return q
+}
+
+// storedInField transfers ownership to the structure.
+func storedInField(m *mgr) {
+	m.cache = m.SafeRead(&m.head)
+}
+
+// deferred releases via defer.
+func deferred(m *mgr) int {
+	q := m.SafeRead(&m.head)
+	defer m.Release(q)
+	if q == nil {
+		return 0
+	}
+	return q.item
+}
+
+// retryLoop re-reads each iteration and releases before retrying, the
+// Alloc shape of Figure 17.
+func retryLoop(m *mgr) *node {
+	for {
+		q := m.SafeRead(&m.head)
+		if q == nil {
+			return nil
+		}
+		if m.head.CompareAndSwap(q, q.next.Load()) {
+			return q
+		}
+		m.Release(q)
+	}
+}
+
+// loopCarried walks a chain, releasing the previous reference after
+// acquiring the next, the Figure 10 back-link walk shape.
+func loopCarried(m *mgr) {
+	p := m.SafeRead(&m.head)
+	for p != nil {
+		q := m.SafeRead(&p.next)
+		m.Release(p)
+		p = q
+	}
+}
+
+// capturedByClosure escapes into the closure, which releases it.
+func capturedByClosure(m *mgr) func() {
+	q := m.SafeRead(&m.head)
+	return func() { m.Release(q) }
+}

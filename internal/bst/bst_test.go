@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 
 	"valois/internal/mm"
+	"valois/internal/testenv"
 )
 
 func modes(t *testing.T, f func(t *testing.T, mode mm.Mode)) {
@@ -344,6 +345,7 @@ func TestConcurrentMixedChurn(t *testing.T) {
 	if testing.Short() {
 		iters = 200
 	}
+	iters = testenv.Iters(iters)
 	modes(t, func(t *testing.T, mode mm.Mode) {
 		const (
 			goroutines = 8

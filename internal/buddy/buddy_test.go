@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+
+	"valois/internal/testenv"
 )
 
 func TestOrderFor(t *testing.T) {
@@ -184,6 +186,7 @@ func TestConcurrentChurnDisjointAndCoalescing(t *testing.T) {
 	if testing.Short() {
 		iters = 300
 	}
+	iters = testenv.Iters(iters)
 	a, _ := New(maxOrder)
 	var wg sync.WaitGroup
 

@@ -7,14 +7,15 @@ import (
 	"testing"
 
 	"valois/internal/mm"
+	"valois/internal/testenv"
 )
 
-// stressParams shrink automatically under -short.
+// stressParams shrink automatically under -short and VALOIS_STRESS_DIV.
 func stressIters(t *testing.T, n int) int {
 	if testing.Short() {
-		return n / 10
+		n /= 10
 	}
-	return n
+	return testenv.Iters(n)
 }
 
 func runStress(t *testing.T, m mm.Manager[int], goroutines, iters int) (inserted, deleted int64, l *List[int]) {

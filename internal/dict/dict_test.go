@@ -9,6 +9,7 @@ import (
 	"testing/quick"
 
 	"valois/internal/mm"
+	"valois/internal/testenv"
 )
 
 // implementations yields each dictionary implementation under each memory
@@ -258,6 +259,7 @@ func TestConcurrentMixedChurn(t *testing.T) {
 	if testing.Short() {
 		iters = 400
 	}
+	iters = testenv.Iters(iters)
 	implementations(t, func(t *testing.T, d Dictionary[int, int]) {
 		const (
 			goroutines = 8

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"valois/internal/mm"
+	"valois/internal/testenv"
 )
 
 // TestRangeMonotoneUnderChurn is the regression test for the traversal
@@ -20,6 +21,7 @@ func TestRangeMonotoneUnderChurn(t *testing.T) {
 	if testing.Short() {
 		duration = 200 * time.Millisecond
 	}
+	duration = testenv.Duration(duration)
 	s := NewSortedList[int, int](mm.ModeGC)
 	var stop atomic.Bool
 	var wg sync.WaitGroup

@@ -1,0 +1,120 @@
+package linearize
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestEmptyHistory: the checker must accept both a nil history and an
+// empty-but-allocated one, and a fresh Recorder must produce such a
+// history before any session records an event.
+func TestEmptyHistory(t *testing.T) {
+	for _, events := range [][]Event{nil, {}} {
+		res := Check(events)
+		if !res.OK {
+			t.Fatalf("empty history rejected: %+v", res)
+		}
+		if res.BadKey != 0 || res.BadHistory != nil {
+			t.Fatalf("empty history produced a witness: %+v", res)
+		}
+	}
+
+	r := NewRecorder(nil)
+	r.Session() // a session that never performs an operation
+	if h := r.History(); len(h) != 0 {
+		t.Fatalf("fresh recorder history has %d events, want 0", len(h))
+	}
+}
+
+// TestSingleOpHistory pins down every single-operation history: each op
+// kind, succeeding and failing, against the initially-absent key state.
+func TestSingleOpHistory(t *testing.T) {
+	tests := []struct {
+		name string
+		ev   Event
+		ok   bool
+	}{
+		{"find-miss", Event{Op: OpFind, OK: false}, true},
+		{"find-hit", Event{Op: OpFind, Value: 3, OK: true}, false},
+		{"insert-success", Event{Op: OpInsert, Value: 3, OK: true}, true},
+		{"insert-failure", Event{Op: OpInsert, Value: 3, OK: false}, false},
+		{"delete-failure", Event{Op: OpDelete, OK: false}, true},
+		{"delete-success", Event{Op: OpDelete, OK: true}, false},
+		{"invalid-op", Event{Op: Op(99), OK: true}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ev := tt.ev
+			ev.Key = 7
+			ev.Start, ev.End = 1, 2
+			res := Check([]Event{ev})
+			if res.OK != tt.ok {
+				t.Fatalf("Check(%v).OK = %v, want %v", ev, res.OK, tt.ok)
+			}
+			if !tt.ok && res.BadKey != 7 {
+				t.Fatalf("BadKey = %d, want 7", res.BadKey)
+			}
+		})
+	}
+}
+
+// TestUnlinearizableWitness checks the failure report itself: when one
+// key's subhistory is illegal among several legal ones, the Result must
+// name that key and return exactly its events, sorted by invocation time.
+func TestUnlinearizableWitness(t *testing.T) {
+	good1 := seqEvents(1,
+		Event{Op: OpInsert, Value: 10, OK: true},
+		Event{Op: OpFind, Value: 10, OK: true},
+	)
+	good9 := seqEvents(9,
+		Event{Op: OpDelete, OK: false},
+	)
+	// Key 5: a Find observes a value that was never inserted — no
+	// sequential order explains it. Build it with deliberately unsorted
+	// Start times to check the witness comes back sorted.
+	bad := []Event{
+		{Op: OpFind, Key: 5, Value: 99, OK: true, Start: 30, End: 40},
+		{Op: OpInsert, Key: 5, Value: 1, OK: true, Start: 10, End: 20},
+	}
+
+	var history []Event
+	history = append(history, good1...)
+	history = append(history, bad...)
+	history = append(history, good9...)
+
+	res := Check(history)
+	if res.OK {
+		t.Fatal("unlinearizable history accepted")
+	}
+	if res.BadKey != 5 {
+		t.Fatalf("BadKey = %d, want 5", res.BadKey)
+	}
+	if len(res.BadHistory) != len(bad) {
+		t.Fatalf("BadHistory has %d events, want %d: %v", len(res.BadHistory), len(bad), res.BadHistory)
+	}
+	for _, e := range res.BadHistory {
+		if e.Key != 5 {
+			t.Fatalf("BadHistory contains foreign key %d: %v", e.Key, e)
+		}
+	}
+	if !sort.SliceIsSorted(res.BadHistory, func(i, j int) bool {
+		return res.BadHistory[i].Start < res.BadHistory[j].Start
+	}) {
+		t.Fatalf("BadHistory not sorted by Start: %v", res.BadHistory)
+	}
+}
+
+// TestWitnessReportsSmallestBadKey: with several illegal subhistories the
+// checker reports the smallest key, keeping failures deterministic.
+func TestWitnessReportsSmallestBadKey(t *testing.T) {
+	bad := func(key int) Event {
+		return Event{Op: OpDelete, Key: key, OK: true, Start: 1, End: 2}
+	}
+	res := Check([]Event{bad(12), bad(3), bad(44)})
+	if res.OK {
+		t.Fatal("illegal history accepted")
+	}
+	if res.BadKey != 3 {
+		t.Fatalf("BadKey = %d, want smallest bad key 3", res.BadKey)
+	}
+}

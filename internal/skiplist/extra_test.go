@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"valois/internal/mm"
+	"valois/internal/testenv"
 )
 
 func TestSingleLevelDegeneratesToSortedList(t *testing.T) {
@@ -38,6 +39,7 @@ func TestRangeMonotoneUnderChurn(t *testing.T) {
 	if testing.Short() {
 		duration = 100 * time.Millisecond
 	}
+	duration = testenv.Duration(duration)
 	s := New[int, int](mm.ModeGC)
 	var stop atomic.Bool
 	var wg sync.WaitGroup

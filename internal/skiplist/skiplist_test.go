@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 
 	"valois/internal/mm"
+	"valois/internal/testenv"
 )
 
 func modes(t *testing.T, f func(t *testing.T, mode mm.Mode)) {
@@ -237,6 +238,7 @@ func TestConcurrentMixedChurnConservation(t *testing.T) {
 	if testing.Short() {
 		iters = 250
 	}
+	iters = testenv.Iters(iters)
 	modes(t, func(t *testing.T, mode mm.Mode) {
 		const (
 			goroutines = 8

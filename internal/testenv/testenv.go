@@ -1,0 +1,52 @@
+// Package testenv centralises the environment knobs used by the heavy
+// concurrency tests. CI sets VALOIS_STRESS_DIV to shrink stress iteration
+// counts and churn durations so the race-detector run stays well under its
+// time budget without skipping the tests outright (as -short would).
+//
+// VALOIS_STRESS_DIV is an integer divisor, default 1. A value of 10 makes
+// every stress loop one tenth as long; values below 1 and unparsable
+// values are treated as 1. It composes with -short: tests apply their
+// -short reduction first and then divide by VALOIS_STRESS_DIV.
+package testenv
+
+import (
+	"os"
+	"strconv"
+	"time"
+)
+
+// EnvStressDiv is the name of the stress-divisor environment variable.
+const EnvStressDiv = "VALOIS_STRESS_DIV"
+
+// Divisor reports the current stress divisor (always >= 1).
+func Divisor() int {
+	v := os.Getenv(EnvStressDiv)
+	if v == "" {
+		return 1
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		return 1
+	}
+	return n
+}
+
+// Iters scales an iteration count by the stress divisor, never
+// returning less than 1 so loops still execute at least once.
+func Iters(n int) int {
+	n /= Divisor()
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// Duration scales a churn duration by the stress divisor, never
+// returning less than a millisecond.
+func Duration(d time.Duration) time.Duration {
+	d /= time.Duration(Divisor())
+	if d < time.Millisecond {
+		return time.Millisecond
+	}
+	return d
+}

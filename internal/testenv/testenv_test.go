@@ -1,0 +1,47 @@
+package testenv
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDivisorParsing(t *testing.T) {
+	cases := []struct {
+		val  string
+		want int
+	}{
+		{"", 1},
+		{"1", 1},
+		{"10", 10},
+		{"0", 1},
+		{"-4", 1},
+		{"nope", 1},
+	}
+	for _, c := range cases {
+		t.Setenv(EnvStressDiv, c.val)
+		if got := Divisor(); got != c.want {
+			t.Errorf("Divisor() with %q = %d, want %d", c.val, got, c.want)
+		}
+	}
+}
+
+func TestItersFloorsAtOne(t *testing.T) {
+	t.Setenv(EnvStressDiv, "100")
+	if got := Iters(5000); got != 50 {
+		t.Errorf("Iters(5000) = %d, want 50", got)
+	}
+	if got := Iters(3); got != 1 {
+		t.Errorf("Iters(3) = %d, want 1", got)
+	}
+}
+
+func TestDurationFloorsAtMillisecond(t *testing.T) {
+	t.Setenv(EnvStressDiv, "10")
+	if got := Duration(time.Second); got != 100*time.Millisecond {
+		t.Errorf("Duration(1s) = %v, want 100ms", got)
+	}
+	t.Setenv(EnvStressDiv, "1000000")
+	if got := Duration(time.Second); got != time.Millisecond {
+		t.Errorf("Duration(1s) with huge divisor = %v, want 1ms", got)
+	}
+}
