@@ -8,7 +8,11 @@ FUZZTIME ?= 10s
 # so shrink the stress loops by the same factor (see internal/testenv).
 RACE_STRESS_DIV ?= 10
 
-.PHONY: build test race lint fuzz-short fmt-check
+# Restrict the lfcheck analyzers: make lint CHECKS=refbalance,abaguard
+CHECKS ?=
+LFCHECK_FLAGS := $(if $(CHECKS),-checks $(CHECKS))
+
+.PHONY: build test race lint lint-json lint-sarif fuzz-short fmt-check
 
 build:
 	$(GO) build ./...
@@ -23,7 +27,14 @@ race:
 # invariant analyzers (cmd/lfcheck).
 lint: fmt-check
 	$(GO) vet ./...
-	$(GO) run ./cmd/lfcheck ./...
+	$(GO) run ./cmd/lfcheck $(LFCHECK_FLAGS) ./...
+
+# Machine-readable findings for CI consumers; same exit convention.
+lint-json:
+	$(GO) run ./cmd/lfcheck $(LFCHECK_FLAGS) -json ./...
+
+lint-sarif:
+	$(GO) run ./cmd/lfcheck $(LFCHECK_FLAGS) -sarif ./...
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

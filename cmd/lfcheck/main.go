@@ -12,10 +12,12 @@
 package main
 
 import (
+	"valois/internal/analysis/abaguard"
 	"valois/internal/analysis/atomiccopy"
 	"valois/internal/analysis/casloop"
 	"valois/internal/analysis/framework"
 	"valois/internal/analysis/mixedatomic"
+	"valois/internal/analysis/refbalance"
 	"valois/internal/analysis/saferead"
 )
 
@@ -23,6 +25,8 @@ func main() {
 	framework.Main(
 		mixedatomic.Analyzer,
 		saferead.Analyzer,
+		refbalance.Analyzer,
+		abaguard.Analyzer,
 		casloop.Analyzer,
 		atomiccopy.Analyzer,
 	)

@@ -1,0 +1,197 @@
+package main_test
+
+import (
+	"encoding/json"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// build compiles the lfcheck binary once into a temp dir and returns a
+// runner that executes it from the module root.
+func build(t *testing.T) func(args ...string) (string, string, int) {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "lfcheck")
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/lfcheck")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building lfcheck: %v\n%s", err, out)
+	}
+	return func(args ...string) (stdout, stderr string, exit int) {
+		t.Helper()
+		cmd := exec.Command(bin, args...)
+		cmd.Dir = root
+		var out, errb strings.Builder
+		cmd.Stdout = &out
+		cmd.Stderr = &errb
+		err := cmd.Run()
+		exit = 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			exit = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("running lfcheck %v: %v", args, err)
+		}
+		return out.String(), errb.String(), exit
+	}
+}
+
+func TestLfcheckCLI(t *testing.T) {
+	run := build(t)
+
+	t.Run("list", func(t *testing.T) {
+		out, _, exit := run("-list")
+		if exit != 0 {
+			t.Fatalf("-list exit = %d, want 0", exit)
+		}
+		for _, name := range []string{"mixedatomic", "saferead", "refbalance", "abaguard", "casloop", "atomiccopy"} {
+			if !strings.Contains(out, name) {
+				t.Errorf("-list output missing analyzer %q:\n%s", name, out)
+			}
+		}
+	})
+
+	t.Run("clean package exits zero", func(t *testing.T) {
+		out, stderr, exit := run("./internal/primitive")
+		if exit != 0 {
+			t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", exit, out, stderr)
+		}
+		if strings.TrimSpace(out) != "" {
+			t.Fatalf("clean run produced output:\n%s", out)
+		}
+	})
+
+	t.Run("findings exit one", func(t *testing.T) {
+		// Naming the testdata fixture explicitly bypasses the wildcard
+		// testdata skip; the saferead fixture is deliberately buggy.
+		out, _, exit := run("./internal/analysis/saferead/testdata/src/a")
+		if exit != 1 {
+			t.Fatalf("exit = %d, want 1\n%s", exit, out)
+		}
+		if !strings.Contains(out, "(saferead)") {
+			t.Fatalf("expected saferead findings, got:\n%s", out)
+		}
+	})
+
+	t.Run("checks filter", func(t *testing.T) {
+		// Restricted to casloop, the saferead fixture's leaks are invisible.
+		out, _, exit := run("-checks", "casloop", "./internal/analysis/saferead/testdata/src/a")
+		if exit != 0 {
+			t.Fatalf("exit = %d, want 0\n%s", exit, out)
+		}
+	})
+
+	t.Run("unknown check exits two", func(t *testing.T) {
+		_, stderr, exit := run("-checks", "nosuch", "./...")
+		if exit != 2 {
+			t.Fatalf("exit = %d, want 2", exit)
+		}
+		if !strings.Contains(stderr, "unknown analyzer") {
+			t.Fatalf("stderr = %q, want unknown analyzer error", stderr)
+		}
+	})
+
+	t.Run("json and sarif are exclusive", func(t *testing.T) {
+		_, _, exit := run("-json", "-sarif", "./internal/primitive")
+		if exit != 2 {
+			t.Fatalf("exit = %d, want 2", exit)
+		}
+	})
+
+	t.Run("json output shape", func(t *testing.T) {
+		out, _, exit := run("-json", "./internal/analysis/saferead/testdata/src/a")
+		if exit != 1 {
+			t.Fatalf("exit = %d, want 1\n%s", exit, out)
+		}
+		var diags []struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Category string `json:"category"`
+			Message  string `json:"message"`
+		}
+		if err := json.Unmarshal([]byte(out), &diags); err != nil {
+			t.Fatalf("output is not a JSON diagnostics array: %v\n%s", err, out)
+		}
+		if len(diags) == 0 {
+			t.Fatal("JSON output is empty")
+		}
+		for _, d := range diags {
+			if d.File == "" || d.Line == 0 || d.Analyzer == "" || d.Message == "" {
+				t.Fatalf("diagnostic missing fields: %+v", d)
+			}
+		}
+		// The fixture's leaks are visible to both the intraprocedural and
+		// the interprocedural checker, each under the leak category.
+		found := false
+		for _, d := range diags {
+			if d.Analyzer == "saferead" && d.Category == "leak" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no saferead/leak diagnostic in %+v", diags)
+		}
+	})
+
+	t.Run("sarif output shape", func(t *testing.T) {
+		out, _, exit := run("-sarif", "./internal/analysis/saferead/testdata/src/a")
+		if exit != 1 {
+			t.Fatalf("exit = %d, want 1\n%s", exit, out)
+		}
+		var log struct {
+			Version string `json:"version"`
+			Runs    []struct {
+				Tool struct {
+					Driver struct {
+						Name  string `json:"name"`
+						Rules []struct {
+							ID string `json:"id"`
+						} `json:"rules"`
+					} `json:"driver"`
+				} `json:"tool"`
+				Results []struct {
+					RuleID  string `json:"ruleId"`
+					Message struct {
+						Text string `json:"text"`
+					} `json:"message"`
+				} `json:"results"`
+			} `json:"runs"`
+		}
+		if err := json.Unmarshal([]byte(out), &log); err != nil {
+			t.Fatalf("output is not SARIF: %v\n%s", err, out)
+		}
+		if log.Version != "2.1.0" || len(log.Runs) != 1 {
+			t.Fatalf("unexpected SARIF envelope: version %q, %d runs", log.Version, len(log.Runs))
+		}
+		r := log.Runs[0]
+		if r.Tool.Driver.Name != "lfcheck" || len(r.Tool.Driver.Rules) != 6 {
+			t.Fatalf("driver = %q with %d rules, want lfcheck with 6", r.Tool.Driver.Name, len(r.Tool.Driver.Rules))
+		}
+		if len(r.Results) == 0 {
+			t.Fatal("SARIF results are empty")
+		}
+	})
+
+	t.Run("allow directives", func(t *testing.T) {
+		// The fixture suppresses its one deliberate leak with a wildcard
+		// directive and plants one malformed directive; the only finding
+		// must be the driver's complaint about the latter.
+		out, _, exit := run("./cmd/lfcheck/testdata/allowfix")
+		if exit != 1 {
+			t.Fatalf("exit = %d, want 1\n%s", exit, out)
+		}
+		lines := strings.Split(strings.TrimSpace(out), "\n")
+		if len(lines) != 1 {
+			t.Fatalf("want exactly the malformed-directive finding, got:\n%s", out)
+		}
+		if !strings.Contains(lines[0], "malformed directive") || !strings.Contains(lines[0], "(lfcheck)") {
+			t.Fatalf("unexpected finding: %s", lines[0])
+		}
+	})
+}

@@ -1,0 +1,12 @@
+package abaguard_test
+
+import (
+	"testing"
+
+	"valois/internal/analysis/abaguard"
+	"valois/internal/analysis/analysistest"
+)
+
+func TestABAGuard(t *testing.T) {
+	analysistest.Run(t, "testdata", abaguard.Analyzer, "a")
+}

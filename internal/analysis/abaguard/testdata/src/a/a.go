@@ -1,0 +1,158 @@
+// Package a is the abaguard fixture: a CAS whose expected pointer was read
+// with a plain Load and dereferenced before (or inside) the CAS is the
+// recycled-pointer ABA hazard of §5.1; the same shapes built on SafeRead,
+// and pure pointer hand-offs that never dereference, are clean.
+package a
+
+import "sync/atomic"
+
+type node struct {
+	next atomic.Pointer[node]
+	ref  atomic.Int64
+	item int
+}
+
+type mgr struct {
+	head  atomic.Pointer[node]
+	count atomic.Int64
+}
+
+// SafeRead acquires a counted reference (Figure 15 shape); Theorem 5 keeps
+// the cell from being recycled while it is held.
+func (m *mgr) SafeRead(p *atomic.Pointer[node]) *node {
+	for {
+		q := p.Load()
+		if q == nil {
+			return nil
+		}
+		q.ref.Add(1)
+		if q == p.Load() {
+			return q
+		}
+		m.Release(q)
+	}
+}
+
+// Release drops a counted reference (Figure 16 shape).
+func (m *mgr) Release(n *node) {
+	if n != nil {
+		n.ref.Add(-1)
+	}
+}
+
+// naivePop is the textbook ABA bug: q's successor is read while nothing
+// prevents q from being freed and recycled, and the CAS cannot tell.
+func naivePop(m *mgr) *node {
+	for {
+		q := m.head.Load()
+		if q == nil {
+			return nil
+		}
+		if m.head.CompareAndSwap(q, q.next.Load()) { // want `CAS expected value q comes from a plain Load and is dereferenced`
+			return q
+		}
+	}
+}
+
+// naiveReadThenSwap dereferences in a separate statement before the CAS —
+// the window is the same.
+func naiveReadThenSwap(m *mgr, n *node) int {
+	q := m.head.Load()
+	if q == nil {
+		return 0
+	}
+	v := q.item
+	if m.head.CompareAndSwap(q, n) { // want `CAS expected value q comes from a plain Load and is dereferenced`
+		return v
+	}
+	return 0
+}
+
+// safePop closes the window with SafeRead: the counted reference keeps the
+// cell alive, so its address cannot be recycled before the CAS.
+func safePop(m *mgr) *node {
+	for {
+		q := m.SafeRead(&m.head)
+		if q == nil {
+			return nil
+		}
+		if m.head.CompareAndSwap(q, q.next.Load()) {
+			return q
+		}
+		m.Release(q)
+	}
+}
+
+// push only hands the loaded pointer onward — it is stored and compared,
+// never dereferenced, so recycling between Load and CAS is harmless: the
+// CAS judges exactly the bit pattern push read.
+func push(m *mgr, n *node) {
+	for {
+		h := m.head.Load()
+		n.next.Store(h)
+		if m.head.CompareAndSwap(h, n) {
+			return
+		}
+	}
+}
+
+// counterRetry CASes a plain integer: values carry no identity, so there is
+// no ABA cell to recycle.
+func counterRetry(m *mgr) {
+	for {
+		c := m.count.Load()
+		if m.count.CompareAndSwap(c, c+1) {
+			return
+		}
+	}
+}
+
+// localAtomic loads from an atomic nothing else can see; no other
+// goroutine can free the cell in the window.
+func localAtomic(n *node) *node {
+	var slot atomic.Pointer[node]
+	slot.Store(n)
+	q := slot.Load()
+	if q == nil {
+		return nil
+	}
+	if slot.CompareAndSwap(q, q.next.Load()) {
+		return q
+	}
+	return nil
+}
+
+// gcnode has no refcount field: the garbage collector owns its cells, a
+// held pointer keeps them from being reused, and the recycled-pointer ABA
+// cannot arise.
+type gcnode struct {
+	next atomic.Pointer[gcnode]
+	item int
+}
+
+// gcPop is naivePop on collector-managed cells: out of abaguard's scope.
+func gcPop(top *atomic.Pointer[gcnode]) *gcnode {
+	for {
+		q := top.Load()
+		if q == nil {
+			return nil
+		}
+		if top.CompareAndSwap(q, q.next.Load()) {
+			return q
+		}
+	}
+}
+
+// derefAfterCAS keeps the Load→CAS window itself dereference-free, which
+// is all abaguard judges; whether trusting the cell after the successful
+// CAS is sound is the caller's protocol problem, not an ABA window.
+func derefAfterCAS(m *mgr, n *node) int {
+	q := m.head.Load()
+	if q == nil {
+		return 0
+	}
+	if m.head.CompareAndSwap(q, n) {
+		return q.item
+	}
+	return 0
+}

@@ -78,6 +78,7 @@ func Run(t *testing.T, testdata string, a *framework.Analyzer, pkg string) {
 		Files:     loaded.Syntax,
 		Pkg:       loaded.Types,
 		TypesInfo: loaded.TypesInfo,
+		Facts:     framework.NewFactStore(),
 	}
 	var diags []framework.Diagnostic
 	pass.Report = func(d framework.Diagnostic) { diags = append(diags, d) }

@@ -59,7 +59,7 @@ func run(pass *framework.Pass) (any, error) {
 				}
 			case *ast.RangeStmt:
 				if t := c.exprType(n.Value); t != nil && c.containsAtomic(t) {
-					c.pass.Reportf(n.Value.Pos(),
+					c.pass.Categorizef("copy", n.Value.Pos(),
 						"range copies %s, which contains sync/atomic values; iterate by index or pointer",
 						types.TypeString(t, types.RelativeTo(c.pass.Pkg)))
 				}
@@ -86,7 +86,7 @@ func (c *checker) checkCopy(e ast.Expr, verb string) {
 	if !ok || !tv.IsValue() || !c.containsAtomic(tv.Type) {
 		return
 	}
-	c.pass.Reportf(e.Pos(), "%s %s, which contains sync/atomic values; use a pointer",
+	c.pass.Categorizef("copy", e.Pos(), "%s %s, which contains sync/atomic values; use a pointer",
 		verb, types.TypeString(tv.Type, types.RelativeTo(c.pass.Pkg)))
 }
 
@@ -101,7 +101,7 @@ func (c *checker) checkFieldList(fl *ast.FieldList, what string) {
 		if !ok || !c.containsAtomic(tv.Type) {
 			continue
 		}
-		c.pass.Reportf(field.Type.Pos(), "%s type %s contains sync/atomic values; use a pointer",
+		c.pass.Categorizef("copy", field.Type.Pos(), "%s type %s contains sync/atomic values; use a pointer",
 			what, types.TypeString(tv.Type, types.RelativeTo(c.pass.Pkg)))
 	}
 }

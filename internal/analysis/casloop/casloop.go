@@ -58,7 +58,7 @@ func run(pass *framework.Pass) (any, error) {
 				continue
 			}
 			for _, b := range l.blocking {
-				pass.Reportf(b.pos, "%s inside a CAS retry loop blocks the lock-free hot path", b.what)
+				pass.Categorizef("blocking", b.pos, "%s inside a CAS retry loop blocks the lock-free hot path", b.what)
 			}
 			for _, cas := range l.cas {
 				checkStaleExpected(pass, l.stmt, cas)
@@ -157,7 +157,7 @@ func checkStaleExpected(pass *framework.Pass, loop *ast.ForStmt, cas *ast.CallEx
 	if assignedIn(pass, loop, v) {
 		return
 	}
-	pass.Reportf(cas.Pos(),
+	pass.Categorizef("stale-expected", cas.Pos(),
 		"CAS expected value %s is never re-loaded inside the retry loop; the CAS cannot succeed after the first failure",
 		v.Name())
 }

@@ -1,0 +1,188 @@
+package framework
+
+import (
+	"go/ast"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// countFact is a toy object fact carrying an arbitrary payload.
+type countFact struct{ N int }
+
+func (*countFact) AFact() {}
+
+// writeFixture drops source files under dir and returns their paths.
+func writeFixture(t *testing.T, dir, name, src string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestFactsDiamond builds a three-package diamond (top imports mid and
+// base, mid imports base) out of LoadFiles fixtures and checks that facts
+// exported while analyzing base are importable from both edges of the
+// diamond — in particular that top sees exactly one set of facts for base,
+// not two conflicting ones.
+func TestFactsDiamond(t *testing.T) {
+	dir := t.TempDir()
+	basePath := writeFixture(t, dir, "base/base.go", `package base
+
+func Plus(a, b int) int { return a + b }
+
+func Minus(a, b int) int { return a - b }
+`)
+	midPath := writeFixture(t, dir, "mid/mid.go", `package mid
+
+import "base"
+
+func Via(x int) int { return base.Plus(x, 1) }
+`)
+	topPath := writeFixture(t, dir, "top/top.go", `package top
+
+import (
+	"base"
+	"mid"
+)
+
+func Use(x int) int { return base.Plus(x, 2) + mid.Via(x) }
+`)
+
+	ld := NewLoader("")
+	facts := NewFactStore()
+
+	// The analyzer exports a fact (parameter count) for every declared
+	// function, and records which callees' facts it can import.
+	imported := make(map[string]int)
+	toy := &Analyzer{
+		Name:      "toyfacts",
+		Doc:       "export a parameter-count fact per function",
+		FactTypes: []Fact{(*countFact)(nil)},
+		Run: func(pass *Pass) (any, error) {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.FuncDecl:
+						if fn := funcObj(pass, n.Name); fn != nil {
+							pass.ExportObjectFact(fn, &countFact{N: n.Type.Params.NumFields()})
+						}
+					case *ast.CallExpr:
+						if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+							if fn := funcObj(pass, sel.Sel); fn != nil {
+								var got countFact
+								if pass.ImportObjectFact(fn, &got) {
+									imported[ObjectKey(fn)] = got.N
+								}
+							}
+						}
+					}
+					return true
+				})
+			}
+			return nil, nil
+		},
+	}
+
+	// Analyze in dependency order, as the driver does.
+	for _, p := range []struct {
+		pkgPath string
+		file    string
+	}{{"base", basePath}, {"mid", midPath}, {"top", topPath}} {
+		loaded, err := ld.LoadFiles(p.pkgPath, p.file)
+		if err != nil {
+			t.Fatalf("loading %s: %v", p.pkgPath, err)
+		}
+		if len(loaded.Errors) > 0 {
+			t.Fatalf("%s has errors: %v", p.pkgPath, loaded.Errors)
+		}
+		pass := &Pass{
+			Analyzer:  toy,
+			Fset:      ld.Fset(),
+			Files:     loaded.Syntax,
+			Pkg:       loaded.Types,
+			TypesInfo: loaded.TypesInfo,
+			Facts:     facts,
+			Report:    func(Diagnostic) {},
+		}
+		if _, err := toy.Run(pass); err != nil {
+			t.Fatalf("analyzing %s: %v", p.pkgPath, err)
+		}
+	}
+
+	want := map[string]int{
+		"base.Plus": 2, // imported by both mid and top — the diamond joins here
+		"mid.Via":   1, // imported by top
+	}
+	if !reflect.DeepEqual(imported, want) {
+		t.Fatalf("imported facts = %v, want %v", imported, want)
+	}
+
+	// base.Minus is never called, but its fact must still be in the store;
+	// the store keys must be the stable ObjectKey strings.
+	keys := facts.Keys()
+	wantKeys := []string{"base.Minus", "base.Plus", "mid.Via", "top.Use"}
+	var gotKeys []string
+	for _, k := range keys {
+		gotKeys = append(gotKeys, k)
+	}
+	if !reflect.DeepEqual(gotKeys, wantKeys) {
+		t.Fatalf("fact store keys = %v, want %v", gotKeys, wantKeys)
+	}
+}
+
+// funcObj resolves an identifier to the function it defines or uses.
+func funcObj(pass *Pass, id *ast.Ident) *types.Func {
+	if fn, ok := pass.TypesInfo.Defs[id].(*types.Func); ok {
+		return fn
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// TestRunDeterministicAcrossRuns drives the full Run pipeline twice with an
+// analyzer that deliberately reports while iterating a map — the classic
+// source of run-to-run jitter — and requires byte-identical diagnostics.
+func TestRunDeterministicAcrossRuns(t *testing.T) {
+	mk := func() *Analyzer {
+		return &Analyzer{
+			Name: "toymap",
+			Doc:  "report every function, iterating a map (determinism probe)",
+			Run: func(pass *Pass) (any, error) {
+				found := make(map[string]*ast.FuncDecl)
+				for _, f := range pass.Files {
+					for _, d := range f.Decls {
+						if fn, ok := d.(*ast.FuncDecl); ok {
+							found[fn.Name.Name] = fn
+						}
+					}
+				}
+				for name, fn := range found {
+					pass.Reportf(fn.Pos(), "func %s", name)
+				}
+				return nil, nil
+			},
+		}
+	}
+	run := func() []RunDiagnostic {
+		diags, err := Run(NewLoader(""), []*Analyzer{mk()}, []string{"valois/internal/primitive"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return diags
+	}
+	first, second := run(), run()
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("diagnostics differ between runs:\n%v\n%v", first, second)
+	}
+	if len(first) == 0 {
+		t.Fatal("probe analyzer reported nothing")
+	}
+}

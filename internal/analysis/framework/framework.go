@@ -28,6 +28,13 @@ type Analyzer struct {
 	// summary in the multichecker's usage text.
 	Doc string
 
+	// FactTypes lists the Fact types this analyzer exports or imports.
+	// A non-empty list tells the driver the analyzer is interprocedural:
+	// the in-module dependency closure of the requested packages is then
+	// analyzed bottom-up (dependencies first) so facts flow from a package
+	// to its importers.
+	FactTypes []Fact
+
 	// Run applies the analyzer to a package.
 	Run func(*Pass) (any, error)
 }
@@ -43,17 +50,29 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Facts is the fact store shared by every pass of this driver run;
+	// nil when the driver is not facts-enabled.
+	Facts *FactStore
+
 	// Report delivers a diagnostic to the driver.
 	Report func(Diagnostic)
 }
 
-// Reportf reports a formatted diagnostic at pos.
+// Reportf reports a formatted diagnostic at pos with no category.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
+// Categorizef reports a formatted diagnostic at pos carrying a category, a
+// short stable slug ("leak", "double-release", "aba", ...) that output
+// modes surface so CI can group findings within one analyzer.
+func (p *Pass) Categorizef(category string, pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Category: category, Message: fmt.Sprintf(format, args...)})
+}
+
 // Diagnostic is a message associated with a source position.
 type Diagnostic struct {
-	Pos     token.Pos
-	Message string
+	Pos      token.Pos
+	Category string // optional stable slug classifying the finding
+	Message  string
 }

@@ -19,10 +19,16 @@ import (
 type Package struct {
 	PkgPath   string
 	Name      string
+	Dir       string // the package's source directory, as reported by go list
 	Fset      *token.FileSet
 	Syntax    []*ast.File
 	Types     *types.Package
 	TypesInfo *types.Info
+
+	// DepOnly marks a package loaded by LoadClosure only because a
+	// requested package depends on it: it is analyzed for facts but its
+	// diagnostics are not reported.
+	DepOnly bool
 
 	// Errors holds parse and type errors encountered in this package.
 	// Dependencies must check cleanly; root packages tolerate errors so a
@@ -61,6 +67,7 @@ type Loader struct {
 	fset     *token.FileSet
 	meta     map[string]*listPkg
 	pkgs     map[string]*types.Package
+	roots    map[string]*Package
 	checking map[string]bool
 }
 
@@ -71,6 +78,7 @@ func NewLoader(dir string) *Loader {
 		fset:     token.NewFileSet(),
 		meta:     make(map[string]*listPkg),
 		pkgs:     make(map[string]*types.Package),
+		roots:    make(map[string]*Package),
 		checking: make(map[string]bool),
 	}
 }
@@ -79,12 +87,43 @@ func NewLoader(dir string) *Loader {
 func (ld *Loader) Fset() *token.FileSet { return ld.fset }
 
 // Load resolves the given go-list patterns (e.g. "./...") and returns the
-// matched packages, parsed and type-checked, sorted by import path.
-// Dependencies are type-checked too but not returned.
+// matched packages, parsed and type-checked, in dependency order
+// (dependencies before importers). Dependencies are type-checked too but
+// not returned.
 func (ld *Loader) Load(patterns ...string) ([]*Package, error) {
+	return ld.load(patterns, false)
+}
+
+// LoadClosure is Load extended to the in-module dependency closure: every
+// non-standard-library package the matched packages depend on is loaded
+// too, fully checked with syntax, marked DepOnly, and placed before its
+// importers. Interprocedural drivers use this order to compute function
+// facts bottom-up.
+func (ld *Loader) LoadClosure(patterns ...string) ([]*Package, error) {
+	return ld.load(patterns, true)
+}
+
+func (ld *Loader) load(patterns []string, closure bool) ([]*Package, error) {
 	if err := ld.list(patterns); err != nil {
 		return nil, err
 	}
+	var pkgs []*Package
+	for _, m := range ld.topoOrder(closure) {
+		pkg, err := ld.checkRoot(m)
+		if err != nil {
+			return nil, fmt.Errorf("loading %s: %w", m.ImportPath, err)
+		}
+		pkg.DepOnly = m.DepOnly
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// topoOrder returns the metadata of the packages to check, dependencies
+// first. With closure set it includes every non-standard dependency of the
+// roots; otherwise only the roots themselves, still in dependency order.
+// Ties are broken by import path, so the order is deterministic.
+func (ld *Loader) topoOrder(closure bool) []*listPkg {
 	var roots []*listPkg
 	for _, m := range ld.meta {
 		if !m.DepOnly {
@@ -92,20 +131,45 @@ func (ld *Loader) Load(patterns ...string) ([]*Package, error) {
 		}
 	}
 	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
-	var pkgs []*Package
-	for _, m := range roots {
-		pkg, err := ld.checkRoot(m)
-		if err != nil {
-			return nil, fmt.Errorf("loading %s: %w", m.ImportPath, err)
+
+	var order []*listPkg
+	seen := make(map[string]bool)
+	var visit func(m *listPkg)
+	visit = func(m *listPkg) {
+		if seen[m.ImportPath] {
+			return
 		}
-		pkgs = append(pkgs, pkg)
+		seen[m.ImportPath] = true
+		imports := append([]string(nil), m.Imports...)
+		sort.Strings(imports)
+		for _, imp := range imports {
+			if d := ld.meta[imp]; d != nil && !d.Standard {
+				visit(d)
+			}
+		}
+		order = append(order, m)
 	}
-	return pkgs, nil
+	for _, r := range roots {
+		visit(r)
+	}
+	if closure {
+		return order
+	}
+	var onlyRoots []*listPkg
+	for _, m := range order {
+		if !m.DepOnly {
+			onlyRoots = append(onlyRoots, m)
+		}
+	}
+	return onlyRoots
 }
 
 // LoadFiles parses and type-checks the given Go files as a single package
 // (used by the analysistest harness for testdata fixtures, which `go list`
-// deliberately ignores). Imports resolve through the loader as usual.
+// deliberately ignores). Imports resolve through the loader as usual, and
+// the checked package is registered under pkgPath, so a later LoadFiles
+// fixture may import an earlier one by that path — which is how the facts
+// tests build multi-package dependency graphs out of fixtures.
 func (ld *Loader) LoadFiles(pkgPath string, filenames ...string) (*Package, error) {
 	m := &listPkg{ImportPath: pkgPath, GoFiles: filenames}
 	return ld.checkRoot(m)
@@ -190,10 +254,16 @@ func (ld *Loader) Import(path string) (*types.Package, error) {
 
 // checkRoot type-checks a root package, capturing syntax and type
 // information for analysis. Parse and type errors are collected into the
-// returned Package rather than failing the load.
+// returned Package rather than failing the load. A cleanly checked package
+// is cached both as a root (repeat loads return the same *Package) and as
+// an importable dependency, so packages checked later in dependency order
+// resolve their imports to this very instance.
 func (ld *Loader) checkRoot(m *listPkg) (*Package, error) {
 	if m.Error != nil {
 		return nil, fmt.Errorf("%s", m.Error.Err)
+	}
+	if pkg, ok := ld.roots[m.ImportPath]; ok {
+		return pkg, nil
 	}
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
@@ -203,12 +273,18 @@ func (ld *Loader) checkRoot(m *listPkg) (*Package, error) {
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 		Scopes:     make(map[ast.Node]*types.Scope),
 	}
-	pkg := &Package{PkgPath: m.ImportPath, Fset: ld.fset, TypesInfo: info}
+	pkg := &Package{PkgPath: m.ImportPath, Dir: m.Dir, Fset: ld.fset, TypesInfo: info}
 	tpkg, errs := ld.checkInto(m, info, &pkg.Syntax)
 	pkg.Types = tpkg
 	pkg.Errors = errs
 	if tpkg != nil {
 		pkg.Name = tpkg.Name()
+	}
+	if len(errs) == 0 && tpkg != nil && m.ImportPath != "" {
+		ld.roots[m.ImportPath] = pkg
+		if _, imported := ld.pkgs[m.ImportPath]; !imported {
+			ld.pkgs[m.ImportPath] = tpkg
+		}
 	}
 	return pkg, nil
 }

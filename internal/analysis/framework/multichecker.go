@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"go/token"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 )
@@ -18,9 +19,13 @@ import (
 //
 //	-checks a,b  run only the named analyzers
 //	-list        print the available analyzers and exit
+//	-json        print diagnostics as a JSON array instead of text
+//	-sarif       print diagnostics as a SARIF 2.1.0 log instead of text
 func Main(analyzers ...*Analyzer) {
 	checks := flag.String("checks", "", "comma-separated list of analyzers to run (default: all)")
 	list := flag.Bool("list", false, "list available analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	sarifOut := flag.Bool("sarif", false, "emit diagnostics as SARIF 2.1.0")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: %s [flags] [packages]\n\nAnalyzers:\n", os.Args[0])
 		for _, a := range analyzers {
@@ -35,6 +40,10 @@ func Main(analyzers ...*Analyzer) {
 			fmt.Printf("%-12s %s\n", a.Name, firstLine(a.Doc))
 		}
 		return
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "lfcheck: -json and -sarif are mutually exclusive")
+		os.Exit(2)
 	}
 
 	selected := analyzers
@@ -64,8 +73,21 @@ func Main(analyzers ...*Analyzer) {
 		fmt.Fprintf(os.Stderr, "lfcheck: %v\n", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Printf("%s\n", d)
+	switch {
+	case *jsonOut:
+		if err := WriteJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "lfcheck: %v\n", err)
+			os.Exit(2)
+		}
+	case *sarifOut:
+		if err := WriteSARIF(os.Stdout, selected, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "lfcheck: %v\n", err)
+			os.Exit(2)
+		}
+	default:
+		for _, d := range diags {
+			fmt.Printf("%s\n", d)
+		}
 	}
 	if len(diags) > 0 {
 		os.Exit(1)
@@ -77,6 +99,7 @@ type RunDiagnostic struct {
 	Position token.Position
 	Message  string
 	Analyzer string
+	Category string
 }
 
 func (d RunDiagnostic) String() string {
@@ -87,29 +110,81 @@ func (d RunDiagnostic) String() string {
 // matched package, returning the diagnostics sorted by position. Load or
 // type-check errors in the target packages are returned as an error: the
 // analyzers' results would not be trustworthy on broken packages.
+//
+// If any analyzer declares FactTypes, the in-module dependency closure of
+// the patterns is analyzed bottom-up first, so cross-package function facts
+// are available when an importing package is checked; closure-only packages
+// contribute facts but no diagnostics.
+//
+// Packages living under a testdata directory are skipped when they were
+// matched by a wildcard ("...") pattern: analyzer fixtures are intentionally
+// buggy and must not trip a whole-tree run. Naming a testdata package
+// explicitly still analyzes it.
+//
+// Diagnostics may be suppressed by a directive comment
+//
+//	//lfcheck:allow <check> <reason>
+//
+// which silences diagnostics of analyzer <check> (or of every analyzer,
+// for <check> = "all") on the directive's own line and the line below it.
+// The reason is mandatory; a directive missing its check name or reason is
+// itself reported, as analyzer "lfcheck" category "directive".
 func Run(ld *Loader, analyzers []*Analyzer, patterns []string) ([]RunDiagnostic, error) {
-	pkgs, err := ld.Load(patterns...)
+	needFacts := false
+	for _, a := range analyzers {
+		if len(a.FactTypes) > 0 {
+			needFacts = true
+		}
+	}
+	var pkgs []*Package
+	var err error
+	if needFacts {
+		pkgs, err = ld.LoadClosure(patterns...)
+	} else {
+		pkgs, err = ld.Load(patterns...)
+	}
 	if err != nil {
 		return nil, err
 	}
+
+	facts := NewFactStore()
 	var diags []RunDiagnostic
 	for _, pkg := range pkgs {
+		if skipTestdata(ld, pkg, patterns) {
+			continue
+		}
 		if len(pkg.Errors) > 0 {
 			return nil, fmt.Errorf("package %s did not type-check: %v", pkg.PkgPath, pkg.Errors[0])
 		}
+		var allows map[allowKey]bool
+		if !pkg.DepOnly {
+			allows = collectAllows(pkg, &diags)
+		}
 		for _, a := range analyzers {
+			if pkg.DepOnly && len(a.FactTypes) == 0 {
+				continue // dependency passes exist only to compute facts
+			}
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
 				Files:     pkg.Syntax,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				Facts:     facts,
 			}
 			pass.Report = func(d Diagnostic) {
+				if pkg.DepOnly {
+					return
+				}
+				pos := pkg.Fset.Position(d.Pos)
+				if allowed(allows, pos, a.Name) {
+					return
+				}
 				diags = append(diags, RunDiagnostic{
-					Position: pkg.Fset.Position(d.Pos),
+					Position: pos,
 					Message:  d.Message,
 					Analyzer: a.Name,
+					Category: d.Category,
 				})
 			}
 			if _, err := a.Run(pass); err != nil {
@@ -131,6 +206,92 @@ func Run(ld *Loader, analyzers []*Analyzer, patterns []string) ([]RunDiagnostic,
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
 	return diags, nil
+}
+
+// allowKey identifies one suppression: this check is allowed on this line.
+type allowKey struct {
+	file  string
+	line  int
+	check string
+}
+
+// allowed reports whether a diagnostic of the named analyzer at pos is
+// covered by a directive on its own line or the line above.
+func allowed(allows map[allowKey]bool, pos token.Position, analyzer string) bool {
+	if len(allows) == 0 {
+		return false
+	}
+	for _, check := range [2]string{analyzer, "all"} {
+		if allows[allowKey{pos.Filename, pos.Line, check}] ||
+			allows[allowKey{pos.Filename, pos.Line - 1, check}] {
+			return true
+		}
+	}
+	return false
+}
+
+const allowPrefix = "//lfcheck:allow"
+
+// collectAllows gathers the //lfcheck:allow directives of one package,
+// reporting malformed ones (missing check name or reason) into diags.
+func collectAllows(pkg *Package, diags *[]RunDiagnostic) map[allowKey]bool {
+	allows := make(map[allowKey]bool)
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					*diags = append(*diags, RunDiagnostic{
+						Position: pos,
+						Message:  fmt.Sprintf("malformed directive %q: want %s <check> <reason>", c.Text, allowPrefix),
+						Analyzer: "lfcheck",
+						Category: "directive",
+					})
+					continue
+				}
+				allows[allowKey{pos.Filename, pos.Line, fields[0]}] = true
+			}
+		}
+	}
+	return allows
+}
+
+// skipTestdata reports whether pkg lives under a testdata directory and was
+// matched only by a wildcard pattern.
+func skipTestdata(ld *Loader, pkg *Package, patterns []string) bool {
+	if !underTestdata(pkg.Dir) {
+		return false
+	}
+	base := ld.Dir
+	if base == "" {
+		base, _ = os.Getwd()
+	}
+	for _, p := range patterns {
+		if strings.Contains(p, "...") {
+			continue
+		}
+		if p == pkg.PkgPath {
+			return false
+		}
+		if abs, err := filepath.Abs(filepath.Join(base, p)); err == nil && abs == filepath.Clean(pkg.Dir) {
+			return false
+		}
+	}
+	return true
+}
+
+func underTestdata(dir string) bool {
+	for _, part := range strings.Split(filepath.ToSlash(dir), "/") {
+		if part == "testdata" {
+			return true
+		}
+	}
+	return false
 }
 
 func firstLine(s string) string {

@@ -1,0 +1,158 @@
+package framework
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// jsonDiagnostic is the machine-readable shape of one finding, stable for
+// CI consumers: {"file", "line", "col", "analyzer", "category", "message"}.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Category string `json:"category,omitempty"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON emits the diagnostics as an indented JSON array (an empty run
+// prints "[]", never null).
+func WriteJSON(w io.Writer, diags []RunDiagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			File:     relToCwd(d.Position.Filename),
+			Line:     d.Position.Line,
+			Col:      d.Position.Column,
+			Analyzer: d.Analyzer,
+			Category: d.Category,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(out)
+}
+
+// Minimal SARIF 2.1.0 model: one run of one tool, one rule per analyzer,
+// one result per diagnostic. Only the properties CI annotation consumers
+// need are emitted.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string        `json:"id"`
+	ShortDescription sarifTextPart `json:"shortDescription"`
+}
+
+type sarifTextPart struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID     string          `json:"ruleId"`
+	Level      string          `json:"level"`
+	Message    sarifTextPart   `json:"message"`
+	Locations  []sarifLocation `json:"locations"`
+	Properties map[string]any  `json:"properties,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// WriteSARIF emits the diagnostics as a SARIF 2.1.0 log, with one rule per
+// analyzer that ran (so a clean run still documents its rule set) and the
+// diagnostic category carried in each result's property bag.
+func WriteSARIF(w io.Writer, analyzers []*Analyzer, diags []RunDiagnostic) error {
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifTextPart{Text: firstLine(a.Doc)},
+		})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		r := sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "warning",
+			Message: sarifTextPart{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI: filepath.ToSlash(relToCwd(d.Position.Filename)),
+					},
+					Region: sarifRegion{
+						StartLine:   d.Position.Line,
+						StartColumn: d.Position.Column,
+					},
+				},
+			}},
+		}
+		if d.Category != "" {
+			r.Properties = map[string]any{"category": d.Category}
+		}
+		results = append(results, r)
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "lfcheck", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(log)
+}
+
+// relToCwd shortens an absolute file path to be relative to the working
+// directory when possible, keeping CI output and SARIF URIs stable across
+// checkouts.
+func relToCwd(file string) string {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return file
+	}
+	rel, err := filepath.Rel(cwd, file)
+	if err != nil || len(rel) >= len(file) {
+		return file
+	}
+	return rel
+}

@@ -78,7 +78,7 @@ func run(pass *framework.Pass) (any, error) {
 				return true
 			}
 			if _, ok := atomicFields[field]; ok {
-				pass.Reportf(sel.Pos(),
+				pass.Categorizef("plain-access", sel.Pos(),
 					"plain access to field %s, which is accessed with sync/atomic elsewhere in this package",
 					field.Name())
 			}

@@ -1,52 +1,60 @@
-// Package saferead defines an analyzer that checks SafeRead/Release
-// balance along control-flow paths.
+// Package refbalance defines an interprocedural analyzer checking that
+// every counted reference (a SafeRead or Alloc result, per §5 of the
+// paper, Figures 15–17) is balanced by exactly one Release along every
+// control-flow path — including references that flow through helper
+// functions.
 //
-// Under the paper's reference-counting scheme (§5, Figures 15 and 16)
-// every SafeRead acquires a counted reference that must eventually be
-// handed back with Release — a reference that is forgotten on even one
-// path can never be reclaimed, and the cell (plus everything reachable
-// through its counted links) leaks. This is the protocol-violation class
-// Michael & Scott's correction note and later surveys identify as the
-// dominant source of bugs in reference-counted lock-free structures.
+// The intraprocedural saferead analyzer must assume that any call taking a
+// tracked reference as an argument assumes ownership of it, because it
+// knows nothing about the callee. That assumption hides the two bug
+// classes the paper's Theorems 4 and 5 rule out only when the protocol is
+// followed exactly:
 //
-// The analyzer tracks local variables assigned from a call to a function
-// or method named SafeRead (or the unexported safeRead wrapper idiom) and
-// abstractly interprets the function body path by path. A tracked
-// reference is considered resolved when it
+//   - a reference held across a call to a read-only helper and then
+//     forgotten (the helper did NOT take ownership — the cell leaks, and
+//     with it everything reachable through its counted links);
+//   - a reference released once by a helper and again by the caller (the
+//     count goes negative, a live cell returns to the free list, and the
+//     ABA protection of §5.1 collapses).
 //
-//   - is passed as an argument to any call (Release, ReleaseNodes, or any
-//     other function that could assume ownership),
-//   - is returned (ownership transfers to the caller),
-//   - is stored into a struct field, slice, map, global, or dereference
-//     (ownership transfers to the structure),
-//   - is captured by a function literal or sent on a channel,
-//   - is transferred to another local variable (which inherits the
-//     obligation), or
-//   - is known to be nil on the current path (guarded by == nil / != nil).
+// refbalance closes that gap with per-function summaries — "returns a +1
+// reference", "releases parameter i", "transfers ownership of parameter
+// i", "neutral" — computed bottom-up over the package dependency graph and
+// carried across packages as framework facts. At each call site the
+// caller's obligations are updated from the callee's summary: a neutral
+// parameter keeps the obligation alive, a releasing parameter discharges
+// it (and flags a second release), a transferring parameter hands it off.
 //
-// A diagnostic is reported when a path reaches a return (or the end of the
-// function) with an unresolved reference, when a SafeRead result is
-// discarded outright, and when a live reference is overwritten.
+// The protocol functions themselves are recognized by name (SafeRead,
+// Release, ReleaseNodes, AddRef, Alloc — the vocabulary of Figures 15–18),
+// exactly as the saferead analyzer does.
 //
-// Loops are interpreted for at most one iteration (zero-or-one unrolling),
-// and short-circuit condition evaluation is approximated by evaluating the
-// whole condition on every path, so the analysis errs toward leniency: it
-// will miss some leaks but does not flag correct code.
-package saferead
+// Like saferead, the analysis walks paths with zero-or-one loop unrolling
+// and errs toward leniency: a reference that reaches any operation with
+// unknown semantics stops being tracked. Two sources of deliberate slack:
+// a Compare&Swap keeps its expected argument alive but marks it
+// "shared" — the paper's structures routinely hold several counted
+// references to one cell around a CAS (TryDelete releases both a link
+// reference and a traversal reference of the same cell), so releases of
+// shared references are never reported as doubles; and AddRef marks its
+// argument shared the same way.
+package refbalance
 
 import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 
 	"valois/internal/analysis/framework"
 )
 
-// Analyzer reports SafeRead references that may escape Release.
+// Analyzer reports unbalanced counted references across call boundaries.
 var Analyzer = &framework.Analyzer{
-	Name: "saferead",
-	Doc:  "report SafeRead results that are not Released on every path",
-	Run:  run,
+	Name:      "refbalance",
+	Doc:       "report counted references not balanced by exactly one Release, following helper-call summaries",
+	FactTypes: []framework.Fact{(*Summary)(nil)},
+	Run:       run,
 }
 
 // maxStates bounds the number of distinct path states carried through a
@@ -55,7 +63,8 @@ var Analyzer = &framework.Analyzer{
 const maxStates = 64
 
 func run(pass *framework.Pass) (any, error) {
-	a := &analysis{pass: pass, reported: make(map[token.Pos]bool)}
+	sums := computeSummaries(pass)
+	a := &analysis{pass: pass, sums: sums, reported: make(map[token.Pos]bool)}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
@@ -64,8 +73,6 @@ func run(pass *framework.Pass) (any, error) {
 					a.analyzeFunc(n.Type, n.Body)
 				}
 			case *ast.FuncLit:
-				// Each function literal is its own accounting scope; the
-				// outer scope treats captures as ownership transfers.
 				a.analyzeFunc(n.Type, n.Body)
 			}
 			return true
@@ -76,16 +83,23 @@ func run(pass *framework.Pass) (any, error) {
 
 type analysis struct {
 	pass     *framework.Pass
+	sums     *summarizer
 	reported map[token.Pos]bool
 	// results holds the named result variables of the function currently
-	// being analyzed: assigning to one transfers ownership to the caller
-	// (the naked-return idiom), so they are never tracked.
+	// being analyzed: assigning to one transfers ownership to the caller.
 	results map[*types.Var]bool
 }
 
-// state maps each live tracked variable to the position of the SafeRead
-// that created its obligation.
-type state map[*types.Var]token.Pos
+// ref is the abstract state of one tracked counted reference.
+type ref struct {
+	pos      token.Pos // the acquiring call, for diagnostics
+	source   string    // name of the acquiring function, for diagnostics
+	released bool      // discharged by a known releasing call
+	shared   bool      // cell may hold several references (CAS expected, AddRef)
+}
+
+// state maps each tracked variable to its reference state.
+type state map[*types.Var]ref
 
 func (s state) clone() state {
 	c := make(state, len(s))
@@ -118,22 +132,23 @@ func (a *analysis) analyzeFunc(typ *ast.FuncType, body *ast.BlockStmt) {
 	for _, st := range out.normal {
 		a.leakCheck(st)
 	}
-	// break/continue outside any loop cannot occur in well-typed code.
 }
 
-// report emits one diagnostic per SafeRead site; every saferead finding is
-// a lost reference, so they all carry the leak category.
-func (a *analysis) report(pos token.Pos, format string, args ...any) {
+// report emits one diagnostic per site.
+func (a *analysis) report(pos token.Pos, category, format string, args ...any) {
 	if a.reported[pos] {
 		return
 	}
 	a.reported[pos] = true
-	a.pass.Categorizef("leak", pos, format, args...)
+	a.pass.Categorizef(category, pos, format, args...)
 }
 
 func (a *analysis) leakCheck(st state) {
-	for v, pos := range st {
-		a.report(pos, "SafeRead result in %s is not Released on every path through this function", v.Name())
+	for v, r := range st {
+		if !r.released {
+			a.report(r.pos, "leak",
+				"counted reference in %s (from %s) is not released on every path through this function", v.Name(), r.source)
+		}
 	}
 }
 
@@ -156,8 +171,9 @@ func (a *analysis) interpStmt(s ast.Stmt, in []state) outcome {
 	switch s := s.(type) {
 	case *ast.ExprStmt:
 		if call, ok := unparen(s.X).(*ast.CallExpr); ok {
-			if a.isSafeReadCall(call) {
-				a.report(call.Pos(), "result of %s is discarded, leaking the acquired reference", calleeName(a.pass, call))
+			if sum := a.summaryOf(call); sum.plusResult(0) {
+				a.report(call.Pos(), "leak",
+					"result of %s carries a counted reference that is discarded", calleeName(a.pass, call))
 			}
 			if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
 				if _, isBuiltin := a.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
@@ -236,9 +252,6 @@ func (a *analysis) interpStmt(s ast.Stmt, in []state) outcome {
 			for _, st := range in {
 				a.evalExpr(s.Cond, st, false)
 			}
-			// Exiting because the condition is false refines nil guards
-			// (`for p != nil` means p is nil on exit); the body sees the
-			// condition-true refinement.
 			condTrue, condFalse := a.applyNilGuard(s.Cond, in)
 			bodyIn = condTrue
 			exits = append(exits, condFalse...)
@@ -250,7 +263,6 @@ func (a *analysis) interpStmt(s ast.Stmt, in []state) outcome {
 		}
 		exits = append(exits, bodyOut.brk...)
 		if s.Cond != nil {
-			// Exit after one iteration, again with the condition false.
 			_, condFalse := a.applyNilGuard(s.Cond, after)
 			exits = append(exits, condFalse...)
 		}
@@ -292,12 +304,8 @@ func (a *analysis) interpStmt(s ast.Stmt, in []state) outcome {
 
 	case *ast.SelectStmt:
 		var normal []state
-		hasDefault := false
 		for _, clause := range s.Body.List {
 			cc := clause.(*ast.CommClause)
-			if cc.Comm == nil {
-				hasDefault = true
-			}
 			clauseIn := cloneAll(in)
 			if cc.Comm != nil {
 				clauseIn = a.interpStmt(cc.Comm, clauseIn).normal
@@ -306,7 +314,6 @@ func (a *analysis) interpStmt(s ast.Stmt, in []state) outcome {
 			normal = append(normal, o.normal...)
 			normal = append(normal, o.brk...) // break exits the select
 		}
-		_ = hasDefault // a select with no default still takes some clause
 		if len(s.Body.List) == 0 {
 			return outcome{} // select{} blocks forever
 		}
@@ -331,7 +338,7 @@ func (a *analysis) interpStmt(s ast.Stmt, in []state) outcome {
 
 	case *ast.DeferStmt:
 		for _, st := range in {
-			a.evalExpr(s.Call, st, false)
+			a.applyCall(s.Call, st, true)
 		}
 		return outcome{normal: in}
 
@@ -361,7 +368,6 @@ func (a *analysis) interpStmt(s ast.Stmt, in []state) outcome {
 
 // interpCases interprets a switch body: the union of all case outcomes,
 // plus fallthrough of the whole switch when there is no default clause.
-// break escapes the switch, not an enclosing loop.
 func (a *analysis) interpCases(body *ast.BlockStmt, in []state, evalCase func(*ast.CaseClause, state)) outcome {
 	var normal, cont []state
 	hasDefault := false
@@ -398,8 +404,24 @@ func (a *analysis) interpAssign(s *ast.AssignStmt, st state) {
 		}
 		return
 	}
-	// Tuple assignment: evaluate the source, then treat every destination
-	// as plainly overwritten.
+	// q, a := f(): a multi-result call tracked position by position.
+	if len(s.Rhs) == 1 {
+		if call, ok := unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+			sum := a.summaryOf(call)
+			a.applyCall(call, st, false)
+			for i, lhs := range s.Lhs {
+				a.overwriteCheck(lhs, st)
+				if sum.plusResult(i) {
+					if lv := a.localVar(lhs); lv != nil {
+						st[lv] = ref{pos: call.Pos(), source: calleeName(a.pass, call)}
+						continue
+					}
+				}
+				a.evalExpr(lhs, st, false)
+			}
+			return
+		}
+	}
 	for _, rhs := range s.Rhs {
 		a.evalExpr(rhs, st, false)
 	}
@@ -423,15 +445,22 @@ func (a *analysis) interpValueSpec(vs *ast.ValueSpec, st state) {
 }
 
 func (a *analysis) assignOne(lhs, rhs ast.Expr, st state) {
-	// A SafeRead call assigned to a local variable starts an obligation.
-	if call, ok := unparen(rhs).(*ast.CallExpr); ok && a.isSafeReadCall(call) {
-		a.evalExpr(call, st, false)
-		if lv := a.localVar(lhs); lv != nil {
-			a.overwriteCheck(lhs, st)
-			st[lv] = call.Pos()
+	// A +1 call assigned to a local variable starts an obligation.
+	if call, ok := unparen(rhs).(*ast.CallExpr); ok {
+		sum := a.summaryOf(call)
+		a.applyCall(call, st, false)
+		if sum.plusResult(0) {
+			if lv := a.localVar(lhs); lv != nil {
+				a.overwriteCheck(lhs, st)
+				st[lv] = ref{pos: call.Pos(), source: calleeName(a.pass, call)}
+				return
+			}
+			// Stored straight into a field or element: ownership
+			// transferred to the structure.
+			a.evalExpr(lhs, st, false)
 			return
 		}
-		// Stored straight into a field or element: ownership transferred.
+		a.overwriteCheck(lhs, st)
 		a.evalExpr(lhs, st, false)
 		return
 	}
@@ -442,39 +471,106 @@ func (a *analysis) assignOne(lhs, rhs ast.Expr, st state) {
 			if lv == rv {
 				return
 			}
-			pos := st[rv]
+			r := st[rv]
 			delete(st, rv)
 			a.overwriteCheck(lhs, st)
-			st[lv] = pos
+			st[lv] = r
 			return
 		}
 		delete(st, rv)
 		a.evalExpr(lhs, st, false)
 		return
 	}
-	// Plain assignment: storing into a non-local destination lets any
-	// tracked variables inside rhs escape.
 	a.evalExpr(rhs, st, a.localVar(lhs) == nil)
 	a.overwriteCheck(lhs, st)
 	a.evalExpr(lhs, st, false)
 }
 
-// overwriteCheck reports and clears an obligation when its variable is
-// about to be overwritten while still live.
+// overwriteCheck reports and clears a live, reliably-single obligation when
+// its variable is about to be overwritten.
 func (a *analysis) overwriteCheck(lhs ast.Expr, st state) {
 	lv := a.localVar(lhs)
 	if lv == nil {
 		return
 	}
-	if pos, held := st[lv]; held {
-		a.report(pos, "SafeRead result in %s is overwritten before being Released", lv.Name())
+	if r, held := st[lv]; held {
+		if !r.released && !r.shared {
+			a.report(r.pos, "leak",
+				"counted reference in %s (from %s) is overwritten before being released", lv.Name(), r.source)
+		}
 		delete(st, lv)
+	}
+}
+
+// summaryOf resolves the callee's summary, or nil when unknown.
+func (a *analysis) summaryOf(call *ast.CallExpr) *Summary {
+	return a.sums.summaryFor(calleeFunc(a.pass, call))
+}
+
+// applyCall updates one state for the effects of one call, consulting the
+// callee's summary for each argument holding a tracked reference. deferred
+// marks calls run at function exit (defer m.Release(q)): their releases are
+// treated as shared, because statements between the defer and the actual
+// exit may legitimately touch the reference again.
+func (a *analysis) applyCall(call *ast.CallExpr, st state, deferred bool) {
+	a.evalExpr(call.Fun, st, false)
+	sum := a.summaryOf(call)
+	cas, isCAS := casShape(a.pass, call)
+	name := calleeName(a.pass, call)
+	isAddRef := name == "AddRef" || name == "addRef"
+
+	for j, arg := range call.Args {
+		v := a.trackedIdent(arg, st)
+		if v == nil {
+			// Untracked argument: evaluate it; nested tracked uses inside
+			// composite expressions escape as usual.
+			a.evalExpr(arg, st, true)
+			continue
+		}
+		r := st[v]
+		switch {
+		case isCAS && j == cas.expected:
+			// The CAS only compares the expected value, but its success
+			// usually means a structure link to the same cell was dropped
+			// or created — reference multiplicity is no longer ours to
+			// judge.
+			r.shared = true
+			st[v] = r
+		case isCAS && j == cas.new:
+			delete(st, v) // stored into the structure
+		case isAddRef:
+			// An extra reference was acquired: still at least one release
+			// owed, but no longer exactly one.
+			r.shared = true
+			r.released = false
+			st[v] = r
+		case sum == nil:
+			delete(st, v) // unknown callee may assume ownership
+		default:
+			switch sum.paramEffect(j) {
+			case ParamReleases:
+				if r.released && !r.shared {
+					a.report(call.Pos(), "double-release",
+						"counted reference in %s (from %s) is released again here; it was already released on this path", v.Name(), r.source)
+				}
+				r.released = true
+				if deferred {
+					r.shared = true
+				}
+				st[v] = r
+			case ParamNeutral:
+				// The interprocedural case: a read-only helper leaves the
+				// obligation with the caller.
+			default: // ParamTransfers
+				delete(st, v)
+			}
+		}
 	}
 }
 
 // evalExpr walks an expression, resolving tracked variables that occur in
 // ownership-transferring positions. resolving reports whether e itself is
-// in such a position (call argument, return value, composite element, ...).
+// in such a position (return value, composite element, ...).
 func (a *analysis) evalExpr(e ast.Expr, st state, resolving bool) {
 	switch e := e.(type) {
 	case nil:
@@ -497,10 +593,7 @@ func (a *analysis) evalExpr(e ast.Expr, st state, resolving bool) {
 		a.evalExpr(e.X, st, false)
 		a.evalExpr(e.Y, st, false)
 	case *ast.CallExpr:
-		a.evalExpr(e.Fun, st, false)
-		for _, arg := range e.Args {
-			a.evalExpr(arg, st, true) // the callee may assume ownership
-		}
+		a.applyCall(e, st, false)
 	case *ast.IndexExpr:
 		a.evalExpr(e.X, st, resolving)
 		a.evalExpr(e.Index, st, false)
@@ -609,30 +702,80 @@ func (a *analysis) trackedIdent(e ast.Expr, st state) *types.Var {
 	return v
 }
 
-// isSafeReadCall recognizes calls to functions or methods named SafeRead
-// or safeRead that return a single pointer.
-func (a *analysis) isSafeReadCall(call *ast.CallExpr) bool {
-	name := calleeName(a.pass, call)
-	if name != "SafeRead" && name != "safeRead" {
-		return false
+// casArgs locates the expected and new arguments of a Compare&Swap call.
+type casArgs struct {
+	expected int
+	new      int
+}
+
+// casShape recognizes the three Compare&Swap spellings of this codebase —
+// a CompareAndSwap/CASXxx method on an atomic (or a wrapper like
+// mm.Node.CASNext), a sync/atomic CompareAndSwapXxx function, and the
+// generic primitive.CompareAndSwap — and returns the positions of the
+// expected and new arguments.
+func casShape(pass *framework.Pass, call *ast.CallExpr) (casArgs, bool) {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return casArgs{}, false
 	}
-	tv, ok := a.pass.TypesInfo.Types[call]
-	if !ok {
-		return false
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if (name == "CompareAndSwap" || strings.HasPrefix(name, "CAS")) && len(call.Args) == 2 {
+			return casArgs{expected: 0, new: 1}, true
+		}
+		return casArgs{}, false
 	}
-	_, isPtr := tv.Type.Underlying().(*types.Pointer)
-	return isPtr
+	if strings.HasPrefix(name, "CompareAndSwap") && len(call.Args) == 3 {
+		return casArgs{expected: 1, new: 2}, true
+	}
+	return casArgs{}, false
 }
 
 // calleeName returns the simple name of the called function or method.
 func calleeName(pass *framework.Pass, call *ast.CallExpr) string {
+	if fn := calleeFunc(pass, call); fn != nil {
+		return fn.Name()
+	}
 	switch fun := unparen(call.Fun).(type) {
 	case *ast.SelectorExpr:
 		return fun.Sel.Name
 	case *ast.Ident:
 		return fun.Name
 	}
-	return ""
+	return "the call"
+}
+
+// calleeFunc resolves the *types.Func a call invokes, or nil for calls
+// through function values, conversions, and builtins.
+func calleeFunc(pass *framework.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.IndexExpr: // explicit generic instantiation f[T](...)
+		if id, ok := unparen(fun.X).(*ast.Ident); ok {
+			fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+			return fn
+		}
+		if sel, ok := unparen(fun.X).(*ast.SelectorExpr); ok {
+			fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			return fn
+		}
+	}
+	return nil
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
 }
 
 func cloneAll(in []state) []state {
@@ -678,14 +821,4 @@ func statesEqual(a, b state) bool {
 		}
 	}
 	return true
-}
-
-func unparen(e ast.Expr) ast.Expr {
-	for {
-		p, ok := e.(*ast.ParenExpr)
-		if !ok {
-			return e
-		}
-		e = p.X
-	}
 }

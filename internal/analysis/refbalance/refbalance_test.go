@@ -1,0 +1,12 @@
+package refbalance_test
+
+import (
+	"testing"
+
+	"valois/internal/analysis/analysistest"
+	"valois/internal/analysis/refbalance"
+)
+
+func TestRefBalance(t *testing.T) {
+	analysistest.Run(t, "testdata", refbalance.Analyzer, "a")
+}

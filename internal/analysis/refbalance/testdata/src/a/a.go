@@ -1,0 +1,232 @@
+// Package a is the refbalance fixture: counted references must be balanced
+// by exactly one Release even when they flow through helper functions. The
+// helpers below exercise every summary class — neutral (readItem), releasing
+// (drop), transferring (insertFront) and +1-returning (nextOf) — and the
+// callers plant the two interprocedural bugs the analyzer exists to catch:
+// a leak across a neutral helper, and a double release via a releasing one.
+package a
+
+import "sync/atomic"
+
+type node struct {
+	next atomic.Pointer[node]
+	ref  atomic.Int64
+	item int
+}
+
+type mgr struct {
+	head atomic.Pointer[node]
+	free atomic.Pointer[node]
+}
+
+// SafeRead acquires a counted reference (Figure 15 shape).
+func (m *mgr) SafeRead(p *atomic.Pointer[node]) *node {
+	for {
+		q := p.Load()
+		if q == nil {
+			return nil
+		}
+		q.ref.Add(1)
+		if q == p.Load() {
+			return q
+		}
+		m.Release(q)
+	}
+}
+
+// Release drops a counted reference (Figure 16 shape).
+func (m *mgr) Release(n *node) {
+	if n != nil {
+		n.ref.Add(-1)
+	}
+}
+
+// AddRef takes an extra counted reference to a held cell.
+func (m *mgr) AddRef(n *node) {
+	n.ref.Add(1)
+}
+
+// Alloc pops a cell off the free list, the Figure 17 retry loop; its result
+// carries one reference.
+func (m *mgr) Alloc() *node {
+	for {
+		q := m.SafeRead(&m.free)
+		if q == nil {
+			return nil
+		}
+		if m.free.CompareAndSwap(q, q.next.Load()) {
+			return q
+		}
+		m.Release(q)
+	}
+}
+
+// readItem only inspects its argument: a neutral helper. Callers keep
+// their release obligation across this call.
+func readItem(q *node) int {
+	if q == nil {
+		return 0
+	}
+	return q.item
+}
+
+// drop releases its argument on the caller's behalf: a releasing helper.
+func drop(m *mgr, q *node) {
+	m.Release(q)
+}
+
+// insertFront links the cell into the structure: a transferring helper.
+// The structure now owns the reference.
+func insertFront(m *mgr, n *node) {
+	for {
+		h := m.head.Load()
+		n.next.Store(h)
+		if m.head.CompareAndSwap(h, n) {
+			return
+		}
+	}
+}
+
+// nextOf releases the cell it is given and returns a +1 reference to its
+// successor — the cursor-advance helper shape (Figures 9–10).
+func nextOf(m *mgr, q *node) *node {
+	n := m.SafeRead(&q.next)
+	m.Release(q)
+	return n
+}
+
+// crossFuncLeak is the planted interprocedural leak: readItem is neutral,
+// so the reference acquired here is still owed a Release when the function
+// returns. An intraprocedural checker assumes readItem consumed it.
+func crossFuncLeak(m *mgr) int {
+	q := m.SafeRead(&m.head) // want `counted reference in q \(from SafeRead\) is not released on every path`
+	if q == nil {
+		return 0
+	}
+	return readItem(q)
+}
+
+// helperDoubleRelease is the planted interprocedural double release: drop
+// already released q, so the count goes negative and a live cell can reach
+// the free list while still linked (the §5.1 ABA scenario).
+func helperDoubleRelease(m *mgr) int {
+	q := m.SafeRead(&m.head)
+	if q == nil {
+		return 0
+	}
+	v := readItem(q)
+	drop(m, q)
+	m.Release(q) // want `counted reference in q \(from SafeRead\) is released again here`
+	return v
+}
+
+// directDoubleRelease releases the same reference twice without a helper.
+func directDoubleRelease(m *mgr) {
+	q := m.SafeRead(&m.head)
+	if q == nil {
+		return
+	}
+	m.Release(q)
+	m.Release(q) // want `counted reference in q \(from SafeRead\) is released again here`
+}
+
+// discardedAlloc drops the +1 result of Alloc on the floor.
+func discardedAlloc(m *mgr) {
+	m.Alloc() // want `result of Alloc carries a counted reference that is discarded`
+}
+
+// overwrittenBeforeRelease loses the first reference by re-reading into the
+// same variable.
+func overwrittenBeforeRelease(m *mgr) {
+	q := m.SafeRead(&m.head) // want `counted reference in q \(from SafeRead\) is overwritten before being released`
+	q = m.SafeRead(&m.head)
+	m.Release(q)
+}
+
+// neutralHelperBalanced is the correct version of crossFuncLeak: the
+// obligation survives readItem and is discharged here.
+func neutralHelperBalanced(m *mgr) int {
+	q := m.SafeRead(&m.head)
+	if q == nil {
+		return 0
+	}
+	v := readItem(q)
+	m.Release(q)
+	return v
+}
+
+// helperReleaseBalanced delegates the one release to drop.
+func helperReleaseBalanced(m *mgr) int {
+	q := m.SafeRead(&m.head)
+	if q == nil {
+		return 0
+	}
+	v := readItem(q)
+	drop(m, q)
+	return v
+}
+
+// allocInsert pairs Alloc with a transferring helper: insertFront assumes
+// ownership, so no release is owed here.
+func allocInsert(m *mgr, v int) bool {
+	n := m.Alloc()
+	if n == nil {
+		return false
+	}
+	n.item = v
+	insertFront(m, n)
+	return true
+}
+
+// allocRelease pairs Alloc with Release directly (the Reclaim path).
+func allocRelease(m *mgr) {
+	n := m.Alloc()
+	if n == nil {
+		return
+	}
+	m.Release(n)
+}
+
+// popRetry is the Figure 17 retry loop at the call-site level: the CAS
+// expected argument keeps the reference live, success transfers it to the
+// caller, failure releases and retries.
+func popRetry(m *mgr) *node {
+	for {
+		q := m.SafeRead(&m.head)
+		if q == nil {
+			return nil
+		}
+		if m.head.CompareAndSwap(q, q.next.Load()) {
+			return q
+		}
+		m.Release(q)
+	}
+}
+
+// cursorWalk chains the +1-returning helper: each call consumes the
+// previous reference and returns the next, so only the final one is owed.
+func cursorWalk(m *mgr) {
+	p := m.SafeRead(&m.head)
+	for p != nil {
+		p = nextOf(m, p)
+	}
+}
+
+// addRefExtra takes a second reference and releases both; AddRef makes the
+// multiplicity unknowable, so neither release is a double.
+func addRefExtra(m *mgr) {
+	q := m.SafeRead(&m.head)
+	if q == nil {
+		return
+	}
+	m.AddRef(q)
+	m.Release(q)
+	m.Release(q)
+}
+
+// deferredRelease discharges the obligation at function exit.
+func deferredRelease(m *mgr) int {
+	q := m.SafeRead(&m.head)
+	defer m.Release(q)
+	return readItem(q)
+}
