@@ -12,7 +12,16 @@ RACE_STRESS_DIV ?= 10
 CHECKS ?=
 LFCHECK_FLAGS := $(if $(CHECKS),-checks $(CHECKS))
 
-.PHONY: build test race lint lint-json lint-sarif fuzz-short fmt-check
+# Serving defaults: make serve / make loadgen (see scripts/smoke.sh for
+# the scripted end-to-end version CI runs).
+ADDR ?= 127.0.0.1:11311
+BACKEND ?= skiplist
+MODE ?= rc
+CONNS ?= 64
+LOAD_DURATION ?= 10s
+
+.PHONY: build test race lint lint-json lint-sarif fuzz-short fmt-check \
+	serve loadgen smoke
 
 build:
 	$(GO) build ./...
@@ -44,3 +53,21 @@ fmt-check:
 fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzDictionarySemantics -fuzztime=$(FUZZTIME) ./internal/dict
 	$(GO) test -run='^$$' -fuzz=FuzzAllocFree -fuzztime=$(FUZZTIME) ./internal/buddy
+	$(GO) test -run='^$$' -fuzz=FuzzParseCommand -fuzztime=$(FUZZTIME) ./internal/proto
+
+# serve runs valoisd in the foreground; stop it with Ctrl-C or SIGTERM
+# (both drain in-flight requests before exiting).
+serve:
+	$(GO) run ./cmd/valoisd -addr $(ADDR) -backend $(BACKEND) -mode $(MODE)
+
+# loadgen drives a running valoisd (see `make serve`) and writes
+# BENCH_server.json at the repo root.
+loadgen:
+	$(GO) run ./cmd/lfload -addr $(ADDR) -conns $(CONNS) -d $(LOAD_DURATION)
+
+# smoke builds both binaries, boots the server on an ephemeral loopback
+# port, sustains $(CONNS) connections, then checks SIGTERM drains to
+# exit 0.
+smoke:
+	SMOKE_CONNS=$(CONNS) SMOKE_BACKEND=$(BACKEND) SMOKE_MODE=$(MODE) \
+		sh scripts/smoke.sh

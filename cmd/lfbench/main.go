@@ -4,15 +4,20 @@
 //
 // Usage:
 //
-//	lfbench [-e E1,E3] [-d 300ms] [-quick]
+//	lfbench [-e E1,E3] [-d 300ms] [-quick] [-json-dir .]
 //
-// With no -e flag every experiment runs in order.
+// With no -e flag every experiment runs in order. With -json-dir, each
+// experiment additionally writes a machine-readable BENCH_<ID>.json into
+// that directory (BENCH_E1.json, ...), so the perf trajectory can be
+// tracked across PRs alongside cmd/lfload's BENCH_server.json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
@@ -30,11 +35,12 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("lfbench", flag.ContinueOnError)
 	var (
-		which  = fs.String("e", "", "comma-separated experiment IDs (default: all)")
-		dur    = fs.Duration("d", 300*time.Millisecond, "duration per measured point")
-		quick  = fs.Bool("quick", false, "trim sweeps for a fast smoke run")
-		seed   = fs.Int64("seed", 1, "workload seed")
-		format = fs.String("format", "text", "output format: text, csv, or markdown")
+		which   = fs.String("e", "", "comma-separated experiment IDs (default: all)")
+		dur     = fs.Duration("d", 300*time.Millisecond, "duration per measured point")
+		quick   = fs.Bool("quick", false, "trim sweeps for a fast smoke run")
+		seed    = fs.Int64("seed", 1, "workload seed")
+		format  = fs.String("format", "text", "output format: text, csv, or markdown")
+		jsonDir = fs.String("json-dir", "", "also write BENCH_<ID>.json files into this directory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,6 +81,52 @@ func run(args []string) error {
 		default:
 			return fmt.Errorf("unknown format %q (text, csv, markdown)", *format)
 		}
+		if *jsonDir != "" {
+			if err := writeBenchJSON(*jsonDir, table, time.Since(start)); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
+}
+
+// benchDoc is the BENCH_<ID>.json schema: the experiment's table plus
+// enough host context to compare runs across machines and PRs.
+type benchDoc struct {
+	Bench      string         `json:"bench"`
+	Timestamp  string         `json:"timestamp"`
+	ID         string         `json:"id"`
+	Title      string         `json:"title"`
+	Claim      string         `json:"claim"`
+	Columns    []string       `json:"columns"`
+	Rows       [][]string     `json:"rows"`
+	Notes      []string       `json:"notes,omitempty"`
+	ElapsedSec float64        `json:"elapsed_sec"`
+	Host       map[string]any `json:"host"`
+}
+
+func writeBenchJSON(dir string, t experiments.Table, elapsed time.Duration) error {
+	doc := benchDoc{
+		Bench:      "lfbench",
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		ID:         t.ID,
+		Title:      t.Title,
+		Claim:      t.Claim,
+		Columns:    t.Columns,
+		Rows:       t.Rows,
+		Notes:      t.Notes,
+		ElapsedSec: elapsed.Seconds(),
+		Host: map[string]any{
+			"goos":       runtime.GOOS,
+			"goarch":     runtime.GOARCH,
+			"cpus":       runtime.NumCPU(),
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+		},
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+t.ID+".json")
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

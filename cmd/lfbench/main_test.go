@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunSingleExperiment(t *testing.T) {
 	if err := run([]string{"-e", "E8", "-quick", "-d", "10ms"}); err != nil {
@@ -23,6 +28,24 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-nope"}); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunWritesBenchJSON(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-e", "E8", "-quick", "-d", "5ms", "-json-dir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_E8.json"))
+	if err != nil {
+		t.Fatalf("BENCH_E8.json not written: %v", err)
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("BENCH_E8.json does not parse: %v", err)
+	}
+	if doc.Bench != "lfbench" || doc.ID != "E8" || len(doc.Columns) == 0 || len(doc.Rows) == 0 {
+		t.Fatalf("BENCH_E8.json missing fields: %+v", doc)
 	}
 }
 

@@ -1,0 +1,274 @@
+// Command lfload is a closed-loop load generator for valoisd: N
+// connections (one goroutine each) issue a GET/SET/DELETE mix against a
+// running server for a fixed duration, then report throughput and latency
+// percentiles as text and as machine-readable JSON (BENCH_server.json by
+// default) so the serving-path performance trajectory is tracked across
+// PRs.
+//
+// The operation mixes are the ones the in-process experiment suite uses
+// (internal/workload): read-mostly 90/5/5, mixed 50/25/25, update-heavy
+// 0/50/50, or an explicit find/insert/delete triple like "70/20/10".
+//
+// Usage:
+//
+//	lfload -addr localhost:11311 [-conns 64] [-d 10s] [-mix mixed]
+//	       [-dist uniform] [-keyspace 16384] [-prefill 0] [-seed 1]
+//	       [-json BENCH_server.json]
+//
+// lfload exits 1 if any operation failed or drew a protocol error; a
+// clean run means every connection sustained the full workload.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"valois/internal/client"
+	"valois/internal/proto"
+	"valois/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// report is the JSON document lfload emits.
+type report struct {
+	Bench          string  `json:"bench"`
+	Timestamp      string  `json:"timestamp"`
+	Addr           string  `json:"addr"`
+	Conns          int     `json:"conns"`
+	DurationSec    float64 `json:"duration_sec"`
+	Mix            string  `json:"mix"`
+	Dist           string  `json:"dist"`
+	KeySpace       int     `json:"keyspace"`
+	Prefill        int     `json:"prefill"`
+	Ops            int64   `json:"ops"`
+	OpsPerSec      float64 `json:"ops_per_sec"`
+	Gets           int64   `json:"gets"`
+	GetHits        int64   `json:"get_hits"`
+	Sets           int64   `json:"sets"`
+	Deletes        int64   `json:"deletes"`
+	DeleteHits     int64   `json:"delete_hits"`
+	NetErrors      int64   `json:"net_errors"`
+	ProtocolErrors int64   `json:"protocol_errors"`
+	LatP50Micros   int64   `json:"lat_p50_us"`
+	LatP99Micros   int64   `json:"lat_p99_us"`
+}
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("lfload", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var (
+		addr     = fs.String("addr", "localhost:11311", "valoisd address")
+		conns    = fs.Int("conns", 64, "concurrent connections (one goroutine each)")
+		dur      = fs.Duration("d", 10*time.Second, "measured run duration")
+		mixName  = fs.String("mix", "mixed", "operation mix: read-mostly, mixed, update-heavy, or F/I/D")
+		distName = fs.String("dist", "uniform", "key distribution: uniform or zipfian")
+		keySpace = fs.Int("keyspace", 16384, "distinct keys")
+		prefill  = fs.Int("prefill", 0, "keys stored before the clock starts")
+		seed     = fs.Int64("seed", 1, "workload seed")
+		jsonPath = fs.String("json", "BENCH_server.json", "write a JSON report here (empty disables)")
+		timeout  = fs.Duration("timeout", 5*time.Second, "per-operation deadline")
+		retries  = fs.Int("retries", 2, "retries per operation on transient errors")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	mix, err := workload.ParseMix(*mixName)
+	if err != nil {
+		fmt.Fprintln(errw, "lfload:", err)
+		return 2
+	}
+	dist, err := workload.ParseDistribution(*distName)
+	if err != nil {
+		fmt.Fprintln(errw, "lfload:", err)
+		return 2
+	}
+	if *conns < 1 || *keySpace < 1 {
+		fmt.Fprintln(errw, "lfload: -conns and -keyspace must be positive")
+		return 2
+	}
+	opts := client.Options{OpTimeout: *timeout, Retries: *retries}
+
+	if *prefill > 0 {
+		if err := doPrefill(*addr, opts, *prefill, *keySpace, *seed); err != nil {
+			fmt.Fprintln(errw, "lfload: prefill:", err)
+			return 1
+		}
+	}
+
+	var (
+		wg         sync.WaitGroup
+		stop       atomic.Bool
+		ops        atomic.Int64
+		gets       atomic.Int64
+		getHits    atomic.Int64
+		sets       atomic.Int64
+		deletes    atomic.Int64
+		deleteHits atomic.Int64
+		netErrs    atomic.Int64
+		protoErrs  atomic.Int64
+		latMu      sync.Mutex
+		latencies  []time.Duration
+	)
+	start := time.Now()
+	for w := 0; w < *conns; w++ {
+		wg.Add(1)
+		go func(wseed int64) {
+			defer wg.Done()
+			c, err := client.Dial(*addr, opts)
+			if err != nil {
+				netErrs.Add(1)
+				return
+			}
+			defer c.Close()
+			rng := rand.New(rand.NewSource(wseed))
+			var zipf *rand.Zipf
+			if dist == workload.Zipfian {
+				zipf = rand.NewZipf(rng, 1.2, 1, uint64(*keySpace-1))
+			}
+			var localLats []time.Duration
+			for !stop.Load() {
+				k := 0
+				if zipf != nil {
+					k = int(zipf.Uint64())
+				} else {
+					k = rng.Intn(*keySpace)
+				}
+				key := keyName(k)
+				opStart := time.Now()
+				var err error
+				switch p := rng.Intn(100); {
+				case p < mix.FindPct:
+					var found bool
+					_, found, err = c.Get(key)
+					gets.Add(1)
+					if found {
+						getHits.Add(1)
+					}
+				case p < mix.FindPct+mix.InsertPct:
+					err = c.Set(key, []byte(key))
+					sets.Add(1)
+				default:
+					var deleted bool
+					deleted, err = c.Delete(key)
+					deletes.Add(1)
+					if deleted {
+						deleteHits.Add(1)
+					}
+				}
+				if err != nil {
+					var re *proto.ReplyError
+					if errors.As(err, &re) {
+						protoErrs.Add(1)
+					} else {
+						netErrs.Add(1)
+					}
+				} else {
+					localLats = append(localLats, time.Since(opStart))
+				}
+				ops.Add(1)
+			}
+			latMu.Lock()
+			latencies = append(latencies, localLats...)
+			latMu.Unlock()
+		}(*seed + int64(w) + 1)
+	}
+	time.Sleep(*dur)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	r := report{
+		Bench:          "lfload",
+		Timestamp:      time.Now().UTC().Format(time.RFC3339),
+		Addr:           *addr,
+		Conns:          *conns,
+		DurationSec:    elapsed.Seconds(),
+		Mix:            *mixName,
+		Dist:           dist.String(),
+		KeySpace:       *keySpace,
+		Prefill:        *prefill,
+		Ops:            ops.Load(),
+		OpsPerSec:      float64(ops.Load()) / elapsed.Seconds(),
+		Gets:           gets.Load(),
+		GetHits:        getHits.Load(),
+		Sets:           sets.Load(),
+		Deletes:        deletes.Load(),
+		DeleteHits:     deleteHits.Load(),
+		NetErrors:      netErrs.Load(),
+		ProtocolErrors: protoErrs.Load(),
+		LatP50Micros:   percentile(latencies, 0.50).Microseconds(),
+		LatP99Micros:   percentile(latencies, 0.99).Microseconds(),
+	}
+
+	fmt.Fprintf(out, "lfload: %d conns for %.1fs against %s (mix=%s dist=%s keyspace=%d)\n",
+		r.Conns, r.DurationSec, r.Addr, r.Mix, r.Dist, r.KeySpace)
+	fmt.Fprintf(out, "  %d ops (%.0f ops/s): %d gets (%d hits), %d sets, %d deletes (%d hits)\n",
+		r.Ops, r.OpsPerSec, r.Gets, r.GetHits, r.Sets, r.Deletes, r.DeleteHits)
+	fmt.Fprintf(out, "  latency p50=%dµs p99=%dµs; errors: network=%d protocol=%d\n",
+		r.LatP50Micros, r.LatP99Micros, r.NetErrors, r.ProtocolErrors)
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(errw, "lfload: writing report:", err)
+			return 1
+		}
+		fmt.Fprintf(out, "  report written to %s\n", *jsonPath)
+	}
+
+	if r.ProtocolErrors > 0 || r.NetErrors > 0 {
+		fmt.Fprintln(errw, "lfload: FAILED — the run drew errors")
+		return 1
+	}
+	return 0
+}
+
+// doPrefill stores n distinct keys with one pipelined connection.
+func doPrefill(addr string, opts client.Options, n, keySpace int, seed int64) error {
+	c, err := client.Dial(addr, opts)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if n > keySpace {
+		n = keySpace
+	}
+	perm := rand.New(rand.NewSource(seed + 42)).Perm(keySpace)
+	const batchSize = 128
+	for i := 0; i < n; i += batchSize {
+		var b client.Batch
+		for j := i; j < n && j < i+batchSize; j++ {
+			key := keyName(perm[j])
+			b.Set(key, []byte(key))
+		}
+		if _, err := c.Do(&b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func keyName(k int) string { return fmt.Sprintf("key:%08d", k) }
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(p*float64(len(sorted)-1))]
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"valois/internal/server"
+)
+
+func startServer(t *testing.T) string {
+	t.Helper()
+	srv, err := server.New(server.Config{Backend: server.BackendSkipList, Shards: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return ln.Addr().String()
+}
+
+// TestLoadRunAgainstServer runs a short closed-loop load against a live
+// in-process server and checks the exit code, the text report, and the
+// JSON report's shape.
+func TestLoadRunAgainstServer(t *testing.T) {
+	addr := startServer(t)
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_server.json")
+	var out, errw bytes.Buffer
+	code := run([]string{
+		"-addr", addr,
+		"-conns", "8",
+		"-d", "300ms",
+		"-mix", "mixed",
+		"-keyspace", "512",
+		"-prefill", "256",
+		"-json", jsonPath,
+	}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("run exited %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errw.String())
+	}
+
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("reading JSON report: %v", err)
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatalf("parsing JSON report: %v", err)
+	}
+	if r.Bench != "lfload" || r.Conns != 8 || r.Mix != "mixed" {
+		t.Fatalf("report identity fields wrong: %+v", r)
+	}
+	if r.Ops <= 0 || r.OpsPerSec <= 0 {
+		t.Fatalf("report counted no work: %+v", r)
+	}
+	if r.Gets+r.Sets+r.Deletes != r.Ops {
+		t.Fatalf("op counts don't sum: %+v", r)
+	}
+	if r.NetErrors != 0 || r.ProtocolErrors != 0 {
+		t.Fatalf("clean loopback run drew errors: %+v", r)
+	}
+	if r.GetHits == 0 {
+		t.Fatalf("prefilled mixed run had zero GET hits: %+v", r)
+	}
+}
+
+func TestLoadRunBadFlags(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-mix", "nonsense"}, &out, &errw); code == 0 {
+		t.Fatal("bad -mix accepted")
+	}
+	if code := run([]string{"-dist", "gaussian"}, &out, &errw); code == 0 {
+		t.Fatal("bad -dist accepted")
+	}
+	if code := run([]string{"-conns", "0"}, &out, &errw); code == 0 {
+		t.Fatal("zero -conns accepted")
+	}
+}
+
+// TestLoadRunUnreachableServer must fail fast and nonzero.
+func TestLoadRunUnreachableServer(t *testing.T) {
+	// Grab a port and close it so nothing is listening.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	var out, errw bytes.Buffer
+	code := run([]string{
+		"-addr", addr, "-conns", "2", "-d", "100ms", "-json", "",
+		"-retries", "-1", "-timeout", "500ms",
+	}, &out, &errw)
+	if code == 0 {
+		t.Fatalf("run against dead server exited 0\nstdout: %s", out.String())
+	}
+}

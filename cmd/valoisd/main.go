@@ -1,0 +1,105 @@
+// Command valoisd serves the paper's §4 lock-free dictionaries over TCP
+// with the memcached-style text protocol of internal/proto. Keys are
+// sharded across independent dictionary instances; the backend structure
+// and the §5 memory mode are flags, so the same daemon compares every
+// structure × mode combination under real network load (see cmd/lfload).
+//
+// Usage:
+//
+//	valoisd [-addr :11311] [-backend skiplist] [-mode gc] [-shards 16]
+//	        [-buckets 1024] [-gomaxprocs N]
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes,
+// in-flight requests drain, and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"valois/internal/server"
+)
+
+// shutdownGrace bounds how long a graceful shutdown waits for in-flight
+// requests before forcing connections closed.
+const shutdownGrace = 10 * time.Second
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr, nil))
+}
+
+// run is main minus the process exit, for tests: onReady (may be nil)
+// receives the bound listener address once the server is accepting.
+func run(args []string, logw io.Writer, onReady func(net.Addr)) int {
+	fs := flag.NewFlagSet("valoisd", flag.ContinueOnError)
+	fs.SetOutput(logw)
+	var (
+		addr       = fs.String("addr", ":11311", "listen address")
+		backend    = fs.String("backend", server.BackendSkipList, "dictionary structure: "+strings.Join(server.Backends(), ", "))
+		mode       = fs.String("mode", "gc", "memory mode: gc or rc (§5 reference counts)")
+		shards     = fs.Int("shards", 16, "independent dictionary instances keys are hashed across")
+		buckets    = fs.Int("buckets", 1024, "buckets per shard (hash backend only)")
+		gomaxprocs = fs.Int("gomaxprocs", 0, "if > 0, set GOMAXPROCS")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *gomaxprocs > 0 {
+		runtime.GOMAXPROCS(*gomaxprocs)
+	}
+
+	srv, err := server.New(server.Config{
+		Backend: *backend,
+		Mode:    *mode,
+		Shards:  *shards,
+		Buckets: *buckets,
+		Logf:    func(format string, a ...any) { fmt.Fprintf(logw, "valoisd: "+format+"\n", a...) },
+	})
+	if err != nil {
+		fmt.Fprintln(logw, "valoisd:", err)
+		return 1
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(logw, "valoisd:", err)
+		return 1
+	}
+	fmt.Fprintf(logw, "valoisd: serving on %s (backend=%s mode=%s shards=%d gomaxprocs=%d)\n",
+		ln.Addr(), *backend, *mode, *shards, runtime.GOMAXPROCS(0))
+	if onReady != nil {
+		onReady(ln.Addr())
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	shutdownErr := make(chan error, 1)
+	go func() {
+		sig := <-sigc
+		fmt.Fprintf(logw, "valoisd: %s received, draining connections\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		shutdownErr <- srv.Shutdown(ctx)
+	}()
+
+	if err := srv.Serve(ln); !errors.Is(err, server.ErrServerClosed) {
+		fmt.Fprintln(logw, "valoisd:", err)
+		return 1
+	}
+	if err := <-shutdownErr; err != nil {
+		fmt.Fprintln(logw, "valoisd: shutdown forced:", err)
+		return 1
+	}
+	fmt.Fprintln(logw, "valoisd: drained, bye")
+	return 0
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"valois/internal/client"
+)
+
+// syncBuffer is a bytes.Buffer safe for the concurrent writes run's
+// serving and shutdown goroutines perform.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestRunServesAndDrainsOnSIGTERM boots valoisd on a loopback port, drives
+// it with the client, sends the process SIGTERM, and requires exit code 0
+// — the graceful-drain contract the Makefile smoke target also checks.
+func TestRunServesAndDrainsOnSIGTERM(t *testing.T) {
+	var logs syncBuffer
+	ready := make(chan net.Addr, 1)
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run(
+			[]string{"-addr", "127.0.0.1:0", "-backend", "skiplist", "-mode", "rc", "-shards", "4"},
+			&logs,
+			func(a net.Addr) { ready <- a },
+		)
+	}()
+
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("server did not come up; logs:\n%s", logs.String())
+	}
+
+	c, err := client.Dial(addr.String(), client.Options{})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	if err := c.Set("k", []byte("v")); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if v, found, err := c.Get("k"); err != nil || !found || string(v) != "v" {
+		t.Fatalf("Get = %q,%v,%v", v, found, err)
+	}
+	c.Close()
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("sending SIGTERM: %v", err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("run exited %d after SIGTERM, want 0; logs:\n%s", code, logs.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("run did not exit after SIGTERM; logs:\n%s", logs.String())
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	tests := [][]string{
+		{"-backend", "btree"},
+		{"-mode", "arc"},
+		{"-addr", "256.0.0.1:bad"},
+		{"-nosuchflag"},
+	}
+	for _, args := range tests {
+		var logs syncBuffer
+		if code := run(args, &logs, nil); code == 0 {
+			t.Errorf("run(%v) = 0, want nonzero", args)
+		}
+	}
+}

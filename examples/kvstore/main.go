@@ -1,46 +1,81 @@
-// Kvstore: a concurrent key-value cache on the lock-free hash dictionary
-// (§4.1). Writers continuously insert and expire entries while readers
-// serve lookups; no operation ever blocks another, and the run reports
-// per-role throughput. The example also contrasts the two memory modes:
-// GC (Go's collector reclaims cells) and RC (the paper's §5 reference
-// counts reclaim them exactly).
+// Kvstore: the concurrent key-value cache served over TCP. The example
+// boots valoisd's serving core (internal/server) in-process on a loopback
+// port with the lock-free hash dictionary (§4.1) behind it, then drives
+// it through internal/client the way an external valoisd deployment would
+// be: readers issue GETs while writers insert and expire entries, every
+// connection multiplexing onto the same lock-free shards, and the run
+// reports per-role throughput. The two memory modes are contrasted: GC
+// (Go's collector reclaims cells) and RC (the paper's §5 reference
+// counts reclaim them exactly — the final STATS line shows the exact
+// reclamation balance).
 //
 // Run with:
 //
 //	go run ./examples/kvstore
+//
+// To run against a standalone daemon instead: `make serve` in one shell,
+// then point internal/client (or cmd/lfload) at its address.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"math/rand"
+	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"valois"
+	"valois/internal/client"
+	"valois/internal/server"
 )
 
 const (
 	keySpace = 4096
-	buckets  = 1024
 	readers  = 6
 	writers  = 2
 	runFor   = 500 * time.Millisecond
 )
 
 func main() {
-	for _, mode := range []valois.MemoryMode{valois.GC, valois.RC} {
-		run(mode)
+	for _, mode := range []string{"gc", "rc"} {
+		if err := run(mode); err != nil {
+			log.Fatalf("kvstore [%s]: %v", mode, err)
+		}
 	}
 }
 
-func run(mode valois.MemoryMode) {
-	cache := valois.NewHashDict[string, int](buckets, mode, valois.HashString)
-
-	// Warm the cache.
-	for i := 0; i < keySpace/2; i++ {
-		cache.Insert(key(i), i)
+func run(mode string) error {
+	// Boot the serving core in-process, exactly as cmd/valoisd does.
+	srv, err := server.New(server.Config{
+		Backend: server.BackendHash,
+		Mode:    mode,
+		Shards:  8,
+	})
+	if err != nil {
+		return err
 	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go srv.Serve(ln)
+	addr := ln.Addr().String()
+
+	// Warm the cache with one pipelined connection.
+	warm, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		return err
+	}
+	var b client.Batch
+	for i := 0; i < keySpace/2; i++ {
+		b.Set(key(i), []byte(fmt.Sprint(i)))
+	}
+	if _, err := warm.Do(&b); err != nil {
+		return err
+	}
+	warm.Close()
 
 	var (
 		wg             sync.WaitGroup
@@ -48,14 +83,25 @@ func run(mode valois.MemoryMode) {
 		reads, hits    atomic.Int64
 		writes, evicts atomic.Int64
 	)
+	errs := make(chan error, readers+writers)
 	for r := 0; r < readers; r++ {
 		wg.Add(1)
 		go func(seed int64) {
 			defer wg.Done()
+			c, err := client.Dial(addr, client.Options{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
 			rng := rand.New(rand.NewSource(seed))
 			for !stop.Load() {
-				k := key(rng.Intn(keySpace))
-				if _, ok := cache.Find(k); ok {
+				_, ok, err := c.Get(key(rng.Intn(keySpace)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if ok {
 					hits.Add(1)
 				}
 				reads.Add(1)
@@ -66,15 +112,28 @@ func run(mode valois.MemoryMode) {
 		wg.Add(1)
 		go func(seed int64) {
 			defer wg.Done()
+			c, err := client.Dial(addr, client.Options{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
 			rng := rand.New(rand.NewSource(seed))
 			for !stop.Load() {
 				i := rng.Intn(keySpace)
 				if rng.Intn(2) == 0 {
-					if cache.Insert(key(i), i) {
-						writes.Add(1)
+					if err := c.Set(key(i), []byte(fmt.Sprint(i))); err != nil {
+						errs <- err
+						return
 					}
+					writes.Add(1)
 				} else {
-					if cache.Delete(key(i)) {
+					deleted, err := c.Delete(key(i))
+					if err != nil {
+						errs <- err
+						return
+					}
+					if deleted {
 						evicts.Add(1)
 					}
 				}
@@ -85,17 +144,41 @@ func run(mode valois.MemoryMode) {
 	time.Sleep(runFor)
 	stop.Store(true)
 	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+	}
 
 	total := reads.Load()
 	hitRate := 0.0
 	if total > 0 {
 		hitRate = 100 * float64(hits.Load()) / float64(total)
 	}
-	fmt.Printf("[%s] %.0f reads/s (%.0f%% hits), %.0f writes/s, %.0f evictions/s\n",
+	fmt.Printf("[%s] %.0f reads/s (%.0f%% hits), %.0f writes/s, %.0f evictions/s over TCP\n",
 		mode,
 		float64(total)/runFor.Seconds(), hitRate,
 		float64(writes.Load())/runFor.Seconds(),
 		float64(evicts.Load())/runFor.Seconds())
+
+	// Under RC the STATS counters prove exact reclamation: every cell the
+	// evictions freed went back through the §5 free list.
+	c, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		return err
+	}
+	stats, err := c.Stats()
+	c.Close()
+	if err != nil {
+		return err
+	}
+	for _, name := range []string{"curr_items", "mm_allocs", "mm_reclaims", "mm_live"} {
+		fmt.Printf("    %s = %s\n", name, stats[name])
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return srv.Shutdown(ctx)
 }
 
 func key(i int) string { return fmt.Sprintf("user:%04d", i) }

@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"go/ast"
+	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"io"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"runtime"
@@ -44,6 +46,7 @@ type listPkg struct {
 	GoFiles    []string
 	CgoFiles   []string
 	Imports    []string
+	Export     string // compiled export data, from go list -export
 	Standard   bool
 	DepOnly    bool
 	Incomplete bool
@@ -54,10 +57,12 @@ type listError struct {
 	Err string
 }
 
-// Loader loads packages by shelling out to `go list` for metadata and
-// type-checking the dependency closure from source. A Loader caches checked
-// packages, so loading several patterns or fixture packages that share
-// dependencies (sync/atomic, fmt, ...) pays the stdlib checking cost once.
+// Loader loads packages by shelling out to `go list` for metadata,
+// type-checking in-module packages from source and importing
+// standard-library dependencies from compiled export data (so packages
+// like net, whose source needs cgo or GOROOT vendoring, still resolve).
+// A Loader caches checked packages, so loading several patterns or
+// fixture packages that share dependencies pays each import cost once.
 type Loader struct {
 	// Dir is the working directory for `go list`; empty means the
 	// process's current directory. Patterns like ./... are resolved
@@ -69,6 +74,7 @@ type Loader struct {
 	pkgs     map[string]*types.Package
 	roots    map[string]*Package
 	checking map[string]bool
+	gcImp    types.Importer // export-data importer for standard packages
 }
 
 // NewLoader returns a Loader rooted at dir.
@@ -175,10 +181,12 @@ func (ld *Loader) LoadFiles(pkgPath string, filenames ...string) (*Package, erro
 	return ld.checkRoot(m)
 }
 
-// list runs `go list -e -json -deps` on the patterns and merges the result
-// into ld.meta.
+// list runs `go list -e -json -deps -export` on the patterns and merges
+// the result into ld.meta. The -export flag records the path of each
+// dependency's compiled export data, which Import uses for standard
+// packages in place of type-checking their source.
 func (ld *Loader) list(patterns []string) error {
-	args := append([]string{"list", "-e", "-json", "-deps"}, patterns...)
+	args := append([]string{"list", "-e", "-json", "-deps", "-export"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = ld.Dir
 	var stderr bytes.Buffer
@@ -218,8 +226,10 @@ func (ld *Loader) list(patterns []string) error {
 	return nil
 }
 
-// Import implements types.Importer by type-checking the named package (and,
-// recursively, its dependencies) from source.
+// Import implements types.Importer. Standard-library packages resolve
+// from their compiled export data (their source may require cgo or
+// GOROOT-internal vendoring, neither of which source checking handles);
+// everything else is type-checked from source, recursively.
 func (ld *Loader) Import(path string) (*types.Package, error) {
 	if path == "unsafe" {
 		return types.Unsafe, nil
@@ -238,6 +248,14 @@ func (ld *Loader) Import(path string) (*types.Package, error) {
 			return nil, fmt.Errorf("package %q not found by go list", path)
 		}
 	}
+	if m.Standard && m.Export != "" {
+		pkg, err := ld.importExportData(path)
+		if err != nil {
+			return nil, fmt.Errorf("importing %s from export data: %v", path, err)
+		}
+		ld.pkgs[path] = pkg
+		return pkg, nil
+	}
 	if ld.checking[path] {
 		return nil, fmt.Errorf("import cycle through %q", path)
 	}
@@ -250,6 +268,31 @@ func (ld *Loader) Import(path string) (*types.Package, error) {
 	}
 	ld.pkgs[path] = pkg
 	return pkg, nil
+}
+
+// importExportData imports a package from compiled export data via the gc
+// importer, looking the data file up in the go list metadata (listing on
+// demand for paths first seen inside another package's export data). The
+// importer instance is shared so packages referenced from several export
+// files resolve to one *types.Package.
+func (ld *Loader) importExportData(path string) (*types.Package, error) {
+	if ld.gcImp == nil {
+		lookup := func(p string) (io.ReadCloser, error) {
+			m := ld.meta[p]
+			if m == nil || m.Export == "" {
+				if err := ld.list([]string{p}); err != nil {
+					return nil, err
+				}
+				m = ld.meta[p]
+			}
+			if m == nil || m.Export == "" {
+				return nil, fmt.Errorf("no export data for %q", p)
+			}
+			return os.Open(m.Export)
+		}
+		ld.gcImp = importer.ForCompiler(ld.fset, "gc", lookup)
+	}
+	return ld.gcImp.Import(path)
 }
 
 // checkRoot type-checks a root package, capturing syntax and type

@@ -84,6 +84,9 @@ func New[K cmp.Ordered, V any](mode mm.Mode) *Tree[K, V] {
 // Manager returns the tree's memory manager, for leak checks in tests.
 func (t *Tree[K, V]) Manager() mm.Manager[item[K, V]] { return t.manager }
 
+// MemStats returns the allocation counters of the tree's §5 memory manager.
+func (t *Tree[K, V]) MemStats() mm.Stats { return t.manager.Stats() }
+
 // WorkStats returns a snapshot of the tree's extra-work counters.
 func (t *Tree[K, V]) WorkStats() TreeWorkStats {
 	return TreeWorkStats{

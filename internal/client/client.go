@@ -1,0 +1,365 @@
+// Package client is the Go client for valoisd (internal/server): the
+// memcached-style text protocol of internal/proto over TCP, with connect
+// timeouts, per-operation deadlines, bounded retry with exponential
+// backoff on transient network errors, and a pipelined batch API that
+// amortises round trips.
+//
+// A Client owns one connection and is not safe for concurrent use; open
+// one Client per goroutine (connections are cheap — the server runs one
+// goroutine per connection and the lock-free structures carry the
+// concurrency).
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"valois/internal/proto"
+)
+
+// Options configures a Client. Zero values select the defaults.
+type Options struct {
+	// ConnectTimeout bounds Dial and reconnects. Default 5s.
+	ConnectTimeout time.Duration
+	// OpTimeout is the per-operation deadline, covering the write of the
+	// request and the read of the full reply. A batch gets one OpTimeout
+	// for the whole pipeline. Default 5s.
+	OpTimeout time.Duration
+	// Retries is how many times an operation is re-attempted after a
+	// transient error (connection refused/reset, timeout). Replies from
+	// the server — including error replies — are never retried. Default 2.
+	Retries int
+	// Backoff is the first retry's delay; it doubles per attempt.
+	// Default 10ms.
+	Backoff time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.ConnectTimeout <= 0 {
+		o.ConnectTimeout = 5 * time.Second
+	}
+	if o.OpTimeout <= 0 {
+		o.OpTimeout = 5 * time.Second
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	} else if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 10 * time.Millisecond
+	}
+	return o
+}
+
+// Entry is one key-value item returned by Range.
+type Entry struct {
+	Key   string
+	Value []byte
+}
+
+// Client is a connection to a valoisd server.
+type Client struct {
+	addr string
+	opts Options
+	nc   net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// Dial connects to a valoisd server at addr.
+func Dial(addr string, opts Options) (*Client, error) {
+	c := &Client{addr: addr, opts: opts.withDefaults()}
+	if err := c.connect(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) connect() error {
+	nc, err := net.DialTimeout("tcp", c.addr, c.opts.ConnectTimeout)
+	if err != nil {
+		return err
+	}
+	c.nc = nc
+	c.br = bufio.NewReader(nc)
+	c.bw = bufio.NewWriter(nc)
+	return nil
+}
+
+func (c *Client) dropConn() {
+	if c.nc != nil {
+		c.nc.Close()
+		c.nc = nil
+	}
+}
+
+// Close sends QUIT (best effort) and closes the connection.
+func (c *Client) Close() error {
+	if c.nc == nil {
+		return nil
+	}
+	c.nc.SetDeadline(time.Now().Add(c.opts.OpTimeout))
+	proto.WriteCommand(c.bw, proto.Command{Verb: proto.VerbQuit})
+	c.bw.Flush()
+	err := c.nc.Close()
+	c.nc = nil
+	return err
+}
+
+// permanent reports whether err is a definitive server reply rather than a
+// transport failure; such errors are returned without retrying.
+func permanent(err error) bool {
+	var re *proto.ReplyError
+	return errors.As(err, &re)
+}
+
+// do runs op under the per-operation deadline, retrying on transient
+// errors with exponential backoff and a fresh connection. Operations are
+// therefore at-least-once: SET (an upsert) and GET are safe to repeat;
+// a retried DELETE reports the outcome of its final attempt.
+func (c *Client) do(op func() error) error {
+	var err error
+	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.opts.Backoff << (attempt - 1))
+		}
+		if c.nc == nil {
+			if err = c.connect(); err != nil {
+				continue
+			}
+		}
+		c.nc.SetDeadline(time.Now().Add(c.opts.OpTimeout))
+		if err = op(); err == nil {
+			return nil
+		}
+		if permanent(err) {
+			return err
+		}
+		c.dropConn()
+	}
+	return err
+}
+
+// Get fetches the value stored under key.
+func (c *Client) Get(key string) (value []byte, found bool, err error) {
+	err = c.do(func() error {
+		if err := c.roundTripHeader(proto.Command{Verb: proto.VerbGet, Key: key}); err != nil {
+			return err
+		}
+		entries, err := c.readValuesUntilEnd(1)
+		if err != nil {
+			return err
+		}
+		if len(entries) == 1 {
+			value, found = entries[0].Value, true
+		} else {
+			value, found = nil, false
+		}
+		return nil
+	})
+	return value, found, err
+}
+
+// Set stores value under key, replacing any existing value.
+func (c *Client) Set(key string, value []byte) error {
+	return c.do(func() error {
+		if err := c.roundTripHeader(proto.Command{Verb: proto.VerbSet, Key: key, Value: value}); err != nil {
+			return err
+		}
+		return c.expectLine(proto.ReplyStored)
+	})
+}
+
+// Delete removes key, reporting whether the server found it.
+func (c *Client) Delete(key string) (deleted bool, err error) {
+	err = c.do(func() error {
+		if err := c.roundTripHeader(proto.Command{Verb: proto.VerbDelete, Key: key}); err != nil {
+			return err
+		}
+		fields, err := proto.ReadReplyLine(c.br)
+		if err != nil {
+			return err
+		}
+		switch fields[0] {
+		case proto.ReplyDeleted:
+			deleted = true
+		case proto.ReplyNotFound:
+			deleted = false
+		default:
+			return fmt.Errorf("client: unexpected DELETE reply %q", fields[0])
+		}
+		return nil
+	})
+	return deleted, err
+}
+
+// Range returns up to count entries with key ≥ start in ascending key
+// order. The server rejects it on unordered (hash) backends.
+func (c *Client) Range(start string, count int) (entries []Entry, err error) {
+	err = c.do(func() error {
+		if err := c.roundTripHeader(proto.Command{Verb: proto.VerbRange, Key: start, Count: count}); err != nil {
+			return err
+		}
+		entries, err = c.readValuesUntilEnd(count)
+		return err
+	})
+	return entries, err
+}
+
+// Stats fetches the server's STATS map (see server.Server.Stats).
+func (c *Client) Stats() (stats map[string]string, err error) {
+	err = c.do(func() error {
+		if err := c.roundTripHeader(proto.Command{Verb: proto.VerbStats}); err != nil {
+			return err
+		}
+		stats = make(map[string]string)
+		for {
+			fields, err := proto.ReadReplyLine(c.br)
+			if err != nil {
+				return err
+			}
+			switch {
+			case fields[0] == proto.ReplyEnd:
+				return nil
+			case fields[0] == "STAT" && len(fields) == 3:
+				stats[fields[1]] = fields[2]
+			default:
+				return fmt.Errorf("client: unexpected STATS reply line %v", fields)
+			}
+		}
+	})
+	return stats, err
+}
+
+// roundTripHeader writes one command and flushes it.
+func (c *Client) roundTripHeader(cmd proto.Command) error {
+	if err := proto.WriteCommand(c.bw, cmd); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// expectLine reads one reply line and requires its first token.
+func (c *Client) expectLine(want string) error {
+	fields, err := proto.ReadReplyLine(c.br)
+	if err != nil {
+		return err
+	}
+	if fields[0] != want {
+		return fmt.Errorf("client: unexpected reply %q, want %q", fields[0], want)
+	}
+	return nil
+}
+
+// readValuesUntilEnd consumes VALUE blocks until END.
+func (c *Client) readValuesUntilEnd(capHint int) ([]Entry, error) {
+	var entries []Entry
+	for {
+		fields, err := proto.ReadReplyLine(c.br)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case fields[0] == proto.ReplyEnd:
+			return entries, nil
+		case fields[0] == "VALUE" && len(fields) == 3:
+			data, err := proto.ReadValueBlock(c.br, fields[2])
+			if err != nil {
+				return nil, err
+			}
+			if entries == nil {
+				entries = make([]Entry, 0, capHint)
+			}
+			entries = append(entries, Entry{Key: fields[1], Value: data})
+		default:
+			return nil, fmt.Errorf("client: unexpected reply line %v", fields)
+		}
+	}
+}
+
+// Batch accumulates pipelined operations for Client.Do. Operations are
+// executed by the server in order; replies come back in the same order.
+type Batch struct {
+	cmds []proto.Command
+}
+
+// Get queues a GET.
+func (b *Batch) Get(key string) {
+	b.cmds = append(b.cmds, proto.Command{Verb: proto.VerbGet, Key: key})
+}
+
+// Set queues a SET.
+func (b *Batch) Set(key string, value []byte) {
+	b.cmds = append(b.cmds, proto.Command{Verb: proto.VerbSet, Key: key, Value: value})
+}
+
+// Delete queues a DELETE.
+func (b *Batch) Delete(key string) {
+	b.cmds = append(b.cmds, proto.Command{Verb: proto.VerbDelete, Key: key})
+}
+
+// Len reports the number of queued operations.
+func (b *Batch) Len() int { return len(b.cmds) }
+
+// Result is the outcome of one batched operation, in queue order.
+type Result struct {
+	Key   string
+	Value []byte // GET hit payload
+	Found bool   // GET hit / DELETE deleted
+}
+
+// Do executes the batch as one pipeline: every request is written before
+// any reply is read, so the pipeline costs one round trip instead of
+// Len(). The whole batch shares one OpTimeout and is retried as a unit on
+// transient errors (all batchable verbs are idempotent upserts/lookups,
+// so a replay is safe).
+func (c *Client) Do(b *Batch) (results []Result, err error) {
+	if b.Len() == 0 {
+		return nil, nil
+	}
+	err = c.do(func() error {
+		for _, cmd := range b.cmds {
+			if err := proto.WriteCommand(c.bw, cmd); err != nil {
+				return err
+			}
+		}
+		if err := c.bw.Flush(); err != nil {
+			return err
+		}
+		results = make([]Result, 0, len(b.cmds))
+		for _, cmd := range b.cmds {
+			r := Result{Key: cmd.Key}
+			switch cmd.Verb {
+			case proto.VerbGet:
+				entries, err := c.readValuesUntilEnd(1)
+				if err != nil {
+					return err
+				}
+				if len(entries) == 1 {
+					r.Value, r.Found = entries[0].Value, true
+				}
+			case proto.VerbSet:
+				if err := c.expectLine(proto.ReplyStored); err != nil {
+					return err
+				}
+				r.Found = true
+			case proto.VerbDelete:
+				fields, err := proto.ReadReplyLine(c.br)
+				if err != nil {
+					return err
+				}
+				r.Found = fields[0] == proto.ReplyDeleted
+			}
+			results = append(results, r)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}

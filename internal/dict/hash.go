@@ -60,6 +60,18 @@ func (h *Hash[K, V]) Len() int {
 	return n
 }
 
+// MemStats sums the §5 memory-manager allocation counters across buckets.
+func (h *Hash[K, V]) MemStats() mm.Stats {
+	var total mm.Stats
+	for _, b := range h.buckets {
+		s := b.MemStats()
+		total.Allocs += s.Allocs
+		total.Reclaims += s.Reclaims
+		total.Created += s.Created
+	}
+	return total
+}
+
 // EnableStats turns on extra-work counters on every bucket.
 func (h *Hash[K, V]) EnableStats() {
 	for _, b := range h.buckets {

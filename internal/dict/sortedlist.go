@@ -32,6 +32,10 @@ func (s *SortedList[K, V]) List() *core.List[Entry[K, V]] { return s.list }
 // EnableStats turns on the extra-work counters of §4.1's analysis.
 func (s *SortedList[K, V]) EnableStats() *core.Counters { return s.list.EnableStats() }
 
+// MemStats returns the allocation counters of the list's §5 memory
+// manager (always-zero Reclaims under mm.ModeGC).
+func (s *SortedList[K, V]) MemStats() mm.Stats { return s.list.Manager().Stats() }
+
 // EnableTorture forwards to core.List.EnableTorture; see there.
 func (s *SortedList[K, V]) EnableTorture(period uint32) { s.list.EnableTorture(period) }
 

@@ -1,0 +1,78 @@
+package proto
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzParseCommand feeds arbitrary bytes to the request parser. Whatever
+// the input, ReadCommand must terminate without panicking and either
+// return a command that satisfies the wire invariants or a classified
+// error; the loop then continues on the same stream the way a server
+// connection would, so resynchronisation after non-fatal errors is
+// exercised too.
+func FuzzParseCommand(f *testing.F) {
+	f.Add([]byte("GET foo\r\n"))
+	f.Add([]byte("SET k 5\r\nhello\r\nGET k\r\n"))
+	f.Add([]byte("SET k 99\r\nshort\r\n"))
+	f.Add([]byte("DELETE \x00\r\n"))
+	f.Add([]byte("RANGE a -3\r\n"))
+	f.Add([]byte("STATS\r\nQUIT\r\n"))
+	f.Add([]byte("FROB\r\nGET x\r\n"))
+	f.Add(bytes.Repeat([]byte("x"), MaxLineLen*2))
+	f.Add([]byte("SET k 1048577\r\n"))
+	f.Add([]byte{0xff, 0xfe, 0x0d, 0x0a})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bufio.NewReader(bytes.NewReader(data))
+		// A real connection handler loops; bound by the input length so
+		// the fuzz target always terminates.
+		for i := 0; i <= len(data); i++ {
+			cmd, err := ReadCommand(r)
+			if err == nil {
+				checkInvariants(t, cmd)
+				continue
+			}
+			var ce *ClientError
+			switch {
+			case errors.As(err, &ce):
+				if ce.Fatal {
+					return // server would close the connection here
+				}
+			case errors.Is(err, ErrUnknownVerb):
+				// server replies ERROR and keeps reading
+			case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
+				return
+			default:
+				t.Fatalf("unclassified error type %T: %v", err, err)
+			}
+		}
+	})
+}
+
+func checkInvariants(t *testing.T, c Command) {
+	t.Helper()
+	switch c.Verb {
+	case VerbGet, VerbSet, VerbDelete, VerbRange, VerbStats, VerbQuit:
+	default:
+		t.Fatalf("parsed command has invalid verb %d", int(c.Verb))
+	}
+	if c.Verb == VerbGet || c.Verb == VerbSet || c.Verb == VerbDelete || c.Verb == VerbRange {
+		if len(c.Key) == 0 || len(c.Key) > MaxKeyLen {
+			t.Fatalf("parsed key length %d out of bounds", len(c.Key))
+		}
+		for i := 0; i < len(c.Key); i++ {
+			if c.Key[i] <= ' ' || c.Key[i] == 0x7f {
+				t.Fatalf("parsed key %q contains forbidden byte", c.Key)
+			}
+		}
+	}
+	if len(c.Value) > MaxValueLen {
+		t.Fatalf("parsed value length %d exceeds MaxValueLen", len(c.Value))
+	}
+	if c.Verb == VerbRange && (c.Count < 1 || c.Count > MaxRange) {
+		t.Fatalf("parsed range count %d out of bounds", c.Count)
+	}
+}

@@ -1,0 +1,374 @@
+// Package proto defines the valoisd wire protocol: a small memcached-style
+// text protocol over TCP that exposes the paper's §4 dictionary operations
+// as network verbs. Requests are a single CRLF-terminated line (SET adds a
+// value block); replies are lines, with GET/RANGE streaming VALUE blocks
+// terminated by END.
+//
+//	GET <key>                  → VALUE <key> <n>\r\n<data>\r\n END | END
+//	SET <key> <n>\r\n<data>    → STORED
+//	DELETE <key>               → DELETED | NOT_FOUND
+//	RANGE <start> <count>      → VALUE... END
+//	STATS                      → STAT <name> <value>... END
+//	QUIT                       → (connection closes)
+//
+// Malformed requests draw "ERROR" (unknown verb) or "CLIENT_ERROR <msg>"
+// (bad arguments). Errors that desynchronise framing — an over-long line,
+// or a SET data block without its CRLF terminator — are fatal: the server
+// replies and closes the connection, since the byte stream can no longer
+// be parsed reliably.
+//
+// Both ends of the protocol live on this package: the server
+// (internal/server) reads commands and writes replies, the client
+// (internal/client) writes commands and reads replies.
+package proto
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Verb identifies a protocol command.
+type Verb int
+
+const (
+	VerbGet Verb = iota + 1
+	VerbSet
+	VerbDelete
+	VerbRange
+	VerbStats
+	VerbQuit
+)
+
+// String returns the verb's wire spelling.
+func (v Verb) String() string {
+	switch v {
+	case VerbGet:
+		return "GET"
+	case VerbSet:
+		return "SET"
+	case VerbDelete:
+		return "DELETE"
+	case VerbRange:
+		return "RANGE"
+	case VerbStats:
+		return "STATS"
+	case VerbQuit:
+		return "QUIT"
+	default:
+		return "INVALID"
+	}
+}
+
+// Wire limits. Keys are short tokens (no spaces or control bytes); values
+// are arbitrary bytes up to MaxValueLen; request lines never legitimately
+// exceed MaxLineLen.
+const (
+	MaxKeyLen   = 250
+	MaxValueLen = 1 << 20
+	MaxRange    = 1 << 16
+	MaxLineLen  = 512
+)
+
+// Command is one parsed request.
+type Command struct {
+	Verb  Verb
+	Key   string // GET, SET, DELETE; RANGE start key
+	Value []byte // SET payload
+	Count int    // RANGE item budget
+}
+
+// ClientError is a request the peer formed badly: the connection survives
+// (the server replies CLIENT_ERROR and keeps reading) unless Fatal is
+// set, which means request framing was lost and the connection must
+// close after the reply.
+type ClientError struct {
+	Msg   string
+	Fatal bool
+}
+
+func (e *ClientError) Error() string { return e.Msg }
+
+// ErrUnknownVerb is returned by ReadCommand for an unrecognised verb; the
+// server replies "ERROR" and keeps the connection open.
+var ErrUnknownVerb = errors.New("unknown command verb")
+
+func clientErr(fatal bool, format string, args ...any) error {
+	return &ClientError{Msg: fmt.Sprintf(format, args...), Fatal: fatal}
+}
+
+// readLine reads one CRLF- (or bare-LF-) terminated line of at most
+// MaxLineLen bytes, excluding the terminator. Over-long lines are a fatal
+// client error: the reader cannot tell where the next request starts.
+func readLine(r *bufio.Reader) ([]byte, error) {
+	line, err := r.ReadSlice('\n')
+	if err == bufio.ErrBufferFull || (err == nil && len(line) > MaxLineLen+2) {
+		return nil, clientErr(true, "request line exceeds %d bytes", MaxLineLen)
+	}
+	if err != nil {
+		// Bytes without a newline followed by EOF: a truncated request.
+		if err == io.EOF && len(line) > 0 {
+			return nil, clientErr(true, "truncated request line")
+		}
+		return nil, err
+	}
+	line = line[:len(line)-1]
+	line = bytes.TrimSuffix(line, []byte{'\r'})
+	return line, nil
+}
+
+// validKey reports whether k is a legal key token: 1..MaxKeyLen bytes,
+// none of which are spaces or control characters.
+func validKey(k []byte) bool {
+	if len(k) == 0 || len(k) > MaxKeyLen {
+		return false
+	}
+	for _, b := range k {
+		if b <= ' ' || b == 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+// ReadCommand reads and parses one request. Errors are either io errors
+// (connection gone), ErrUnknownVerb, or *ClientError.
+func ReadCommand(r *bufio.Reader) (Command, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return Command{}, err
+	}
+	fields := bytes.Fields(line)
+	if len(fields) == 0 {
+		return Command{}, clientErr(false, "empty request")
+	}
+	verb := string(fields[0])
+	args := fields[1:]
+	switch verb {
+	case "GET", "get":
+		if len(args) != 1 {
+			return Command{}, clientErr(false, "GET wants 1 argument, got %d", len(args))
+		}
+		if !validKey(args[0]) {
+			return Command{}, clientErr(false, "bad key")
+		}
+		return Command{Verb: VerbGet, Key: string(args[0])}, nil
+
+	case "SET", "set":
+		if len(args) != 2 {
+			return Command{}, clientErr(false, "SET wants <key> <bytes>, got %d arguments", len(args))
+		}
+		if !validKey(args[0]) {
+			return Command{}, clientErr(false, "bad key")
+		}
+		n, err := strconv.Atoi(string(args[1]))
+		if err != nil || n < 0 {
+			return Command{}, clientErr(false, "bad value length %q", args[1])
+		}
+		if n > MaxValueLen {
+			// The data block is on the wire; without reading it framing is
+			// lost, and reading it would buffer an over-limit value. Fatal.
+			return Command{}, clientErr(true, "value exceeds %d bytes", MaxValueLen)
+		}
+		val := make([]byte, n)
+		if _, err := io.ReadFull(r, val); err != nil {
+			return Command{}, clientErr(true, "short value data block")
+		}
+		// The data block carries its own CRLF terminator.
+		switch crlf, err := r.Peek(2); {
+		case err == nil && crlf[0] == '\r' && crlf[1] == '\n':
+			r.Discard(2)
+		case len(crlf) >= 1 && crlf[0] == '\n': // tolerate bare LF
+			r.Discard(1)
+		default:
+			return Command{}, clientErr(true, "value data block not terminated by CRLF")
+		}
+		return Command{Verb: VerbSet, Key: string(args[0]), Value: val}, nil
+
+	case "DELETE", "delete":
+		if len(args) != 1 {
+			return Command{}, clientErr(false, "DELETE wants 1 argument, got %d", len(args))
+		}
+		if !validKey(args[0]) {
+			return Command{}, clientErr(false, "bad key")
+		}
+		return Command{Verb: VerbDelete, Key: string(args[0])}, nil
+
+	case "RANGE", "range":
+		if len(args) != 2 {
+			return Command{}, clientErr(false, "RANGE wants <start> <count>, got %d arguments", len(args))
+		}
+		if !validKey(args[0]) {
+			return Command{}, clientErr(false, "bad start key")
+		}
+		n, err := strconv.Atoi(string(args[1]))
+		if err != nil || n < 1 || n > MaxRange {
+			return Command{}, clientErr(false, "bad count %q (want 1..%d)", args[1], MaxRange)
+		}
+		return Command{Verb: VerbRange, Key: string(args[0]), Count: n}, nil
+
+	case "STATS", "stats":
+		if len(args) != 0 {
+			return Command{}, clientErr(false, "STATS wants no arguments")
+		}
+		return Command{Verb: VerbStats}, nil
+
+	case "QUIT", "quit":
+		return Command{Verb: VerbQuit}, nil
+
+	default:
+		return Command{}, ErrUnknownVerb
+	}
+}
+
+// WriteCommand writes one request in wire form (the client side of
+// ReadCommand). The caller flushes.
+func WriteCommand(w *bufio.Writer, c Command) error {
+	var err error
+	switch c.Verb {
+	case VerbGet, VerbDelete:
+		_, err = fmt.Fprintf(w, "%s %s\r\n", c.Verb, c.Key)
+	case VerbSet:
+		if _, err = fmt.Fprintf(w, "SET %s %d\r\n", c.Key, len(c.Value)); err == nil {
+			if _, err = w.Write(c.Value); err == nil {
+				_, err = w.WriteString("\r\n")
+			}
+		}
+	case VerbRange:
+		_, err = fmt.Fprintf(w, "RANGE %s %d\r\n", c.Key, c.Count)
+	case VerbStats:
+		_, err = w.WriteString("STATS\r\n")
+	case VerbQuit:
+		_, err = w.WriteString("QUIT\r\n")
+	default:
+		return fmt.Errorf("proto: invalid verb %d", int(c.Verb))
+	}
+	return err
+}
+
+// Reply lines.
+const (
+	ReplyStored   = "STORED"
+	ReplyDeleted  = "DELETED"
+	ReplyNotFound = "NOT_FOUND"
+	ReplyEnd      = "END"
+)
+
+// WriteLine writes one reply line with the CRLF terminator.
+func WriteLine(w *bufio.Writer, line string) error {
+	if _, err := w.WriteString(line); err != nil {
+		return err
+	}
+	_, err := w.WriteString("\r\n")
+	return err
+}
+
+// WriteValue writes one VALUE block of a GET or RANGE reply.
+func WriteValue(w *bufio.Writer, key string, value []byte) error {
+	if _, err := fmt.Fprintf(w, "VALUE %s %d\r\n", key, len(value)); err != nil {
+		return err
+	}
+	if _, err := w.Write(value); err != nil {
+		return err
+	}
+	_, err := w.WriteString("\r\n")
+	return err
+}
+
+// WriteStat writes one STAT line of a STATS reply.
+func WriteStat(w *bufio.Writer, name, value string) error {
+	_, err := fmt.Fprintf(w, "STAT %s %s\r\n", name, value)
+	return err
+}
+
+// WriteClientError writes a CLIENT_ERROR reply.
+func WriteClientError(w *bufio.Writer, msg string) error {
+	_, err := fmt.Fprintf(w, "CLIENT_ERROR %s\r\n", sanitize(msg))
+	return err
+}
+
+// WriteServerError writes a SERVER_ERROR reply.
+func WriteServerError(w *bufio.Writer, msg string) error {
+	_, err := fmt.Fprintf(w, "SERVER_ERROR %s\r\n", sanitize(msg))
+	return err
+}
+
+// WriteError writes the bare ERROR reply for an unknown verb.
+func WriteError(w *bufio.Writer) error { return WriteLine(w, "ERROR") }
+
+// sanitize keeps reply messages single-line so they cannot break framing.
+func sanitize(msg string) string {
+	b := []byte(msg)
+	for i, c := range b {
+		if c == '\r' || c == '\n' {
+			b[i] = ' '
+		}
+	}
+	return string(b)
+}
+
+// ReplyError is an ERROR / CLIENT_ERROR / SERVER_ERROR reply surfaced on
+// the client side.
+type ReplyError struct {
+	Kind string // "ERROR", "CLIENT_ERROR", or "SERVER_ERROR"
+	Msg  string
+}
+
+func (e *ReplyError) Error() string {
+	if e.Msg == "" {
+		return "server replied " + e.Kind
+	}
+	return e.Kind + ": " + e.Msg
+}
+
+// ReadReplyLine reads one reply line, mapping error replies to
+// *ReplyError. The returned fields are the line's space-separated tokens.
+func ReadReplyLine(r *bufio.Reader) ([]string, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return nil, err
+	}
+	fields := bytes.Fields(line)
+	if len(fields) == 0 {
+		return nil, errors.New("proto: empty reply line")
+	}
+	head := string(fields[0])
+	switch head {
+	case "ERROR", "CLIENT_ERROR", "SERVER_ERROR":
+		msg := ""
+		if rest := bytes.TrimSpace(line[len(head):]); len(rest) > 0 {
+			msg = string(rest)
+		}
+		return nil, &ReplyError{Kind: head, Msg: msg}
+	}
+	out := make([]string, len(fields))
+	for i, f := range fields {
+		out[i] = string(f)
+	}
+	return out, nil
+}
+
+// ReadValueBlock finishes reading a VALUE block whose header line has
+// already been parsed into key and size fields: it reads size bytes of
+// data plus the CRLF terminator.
+func ReadValueBlock(r *bufio.Reader, sizeField string) ([]byte, error) {
+	n, err := strconv.Atoi(sizeField)
+	if err != nil || n < 0 || n > MaxValueLen {
+		return nil, fmt.Errorf("proto: bad VALUE size %q", sizeField)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, err
+	}
+	if crlf, err := r.Peek(2); err == nil && crlf[0] == '\r' && crlf[1] == '\n' {
+		r.Discard(2)
+	} else if len(crlf) >= 1 && crlf[0] == '\n' {
+		r.Discard(1)
+	} else {
+		return nil, errors.New("proto: VALUE data not terminated by CRLF")
+	}
+	return data, nil
+}

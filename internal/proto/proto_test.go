@@ -1,0 +1,165 @@
+package proto
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func reader(s string) *bufio.Reader { return bufio.NewReader(strings.NewReader(s)) }
+
+func TestReadCommandWellFormed(t *testing.T) {
+	tests := []struct {
+		in   string
+		want Command
+	}{
+		{"GET foo\r\n", Command{Verb: VerbGet, Key: "foo"}},
+		{"get foo\n", Command{Verb: VerbGet, Key: "foo"}},
+		{"SET k 5\r\nhello\r\n", Command{Verb: VerbSet, Key: "k", Value: []byte("hello")}},
+		{"SET k 0\r\n\r\n", Command{Verb: VerbSet, Key: "k", Value: []byte{}}},
+		{"SET k 2\nhi\n", Command{Verb: VerbSet, Key: "k", Value: []byte("hi")}},
+		{"DELETE k\r\n", Command{Verb: VerbDelete, Key: "k"}},
+		{"RANGE a 10\r\n", Command{Verb: VerbRange, Key: "a", Count: 10}},
+		{"STATS\r\n", Command{Verb: VerbStats}},
+		{"QUIT\r\n", Command{Verb: VerbQuit}},
+	}
+	for _, tt := range tests {
+		got, err := ReadCommand(reader(tt.in))
+		if err != nil {
+			t.Errorf("ReadCommand(%q) error: %v", tt.in, err)
+			continue
+		}
+		if got.Verb != tt.want.Verb || got.Key != tt.want.Key ||
+			got.Count != tt.want.Count || !bytes.Equal(got.Value, tt.want.Value) {
+			t.Errorf("ReadCommand(%q) = %+v, want %+v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestReadCommandMalformed(t *testing.T) {
+	tests := []struct {
+		in    string
+		fatal bool
+	}{
+		{"\r\n", false},        // empty request
+		{"GET\r\n", false},     // missing key
+		{"GET a b\r\n", false}, // extra argument
+		{"GET " + strings.Repeat("k", MaxKeyLen+1) + "\r\n", false}, // oversized key
+		{"GET ba\x01d\r\n", false},                                  // control byte in key
+		{"SET k notanumber\r\n", false},                             // bad length
+		{"SET k -1\r\n", false},                                     // negative length
+		{"SET k 5\r\nhelloXY", true},                                // data block missing CRLF
+		{"SET k 5\r\nhel", true},                                    // truncated data block
+		{"SET k 9999999999\r\n", true},                              // over-limit value
+		{"RANGE a 0\r\n", false},                                    // count below 1
+		{"RANGE a\r\n", false},                                      // missing count
+		{"STATS now\r\n", false},                                    // STATS takes no args
+		{strings.Repeat("x", MaxLineLen+10) + "\r\n", true},         // over-long line
+		{"GET truncated", true},                                     // no terminator before EOF
+	}
+	for _, tt := range tests {
+		_, err := ReadCommand(reader(tt.in))
+		var ce *ClientError
+		if !errors.As(err, &ce) {
+			t.Errorf("ReadCommand(%.40q) error = %v, want *ClientError", tt.in, err)
+			continue
+		}
+		if ce.Fatal != tt.fatal {
+			t.Errorf("ReadCommand(%.40q) fatal = %v, want %v (%s)", tt.in, ce.Fatal, tt.fatal, ce.Msg)
+		}
+	}
+}
+
+func TestReadCommandUnknownVerb(t *testing.T) {
+	if _, err := ReadCommand(reader("FROB x\r\n")); !errors.Is(err, ErrUnknownVerb) {
+		t.Fatalf("error = %v, want ErrUnknownVerb", err)
+	}
+}
+
+func TestReadCommandEOF(t *testing.T) {
+	if _, err := ReadCommand(reader("")); !errors.Is(err, io.EOF) {
+		t.Fatalf("error = %v, want io.EOF", err)
+	}
+}
+
+// TestCommandRoundTrip writes every verb with WriteCommand and parses it
+// back with ReadCommand.
+func TestCommandRoundTrip(t *testing.T) {
+	cmds := []Command{
+		{Verb: VerbGet, Key: "alpha"},
+		{Verb: VerbSet, Key: "beta", Value: []byte("some bytes\nwith a newline")},
+		{Verb: VerbSet, Key: "empty", Value: nil},
+		{Verb: VerbDelete, Key: "gamma"},
+		{Verb: VerbRange, Key: "delta", Count: 99},
+		{Verb: VerbStats},
+		{Verb: VerbQuit},
+	}
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	for _, c := range cmds {
+		if err := WriteCommand(w, c); err != nil {
+			t.Fatalf("WriteCommand(%v): %v", c.Verb, err)
+		}
+	}
+	w.Flush()
+	r := bufio.NewReader(&buf)
+	for _, want := range cmds {
+		got, err := ReadCommand(r)
+		if err != nil {
+			t.Fatalf("ReadCommand after Write(%v): %v", want.Verb, err)
+		}
+		if got.Verb != want.Verb || got.Key != want.Key || got.Count != want.Count ||
+			!bytes.Equal(got.Value, want.Value) {
+			t.Fatalf("round trip = %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestReplyLines(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	WriteValue(w, "k", []byte("vv"))
+	WriteStat(w, "ops", "12")
+	WriteLine(w, ReplyEnd)
+	w.Flush()
+
+	r := bufio.NewReader(&buf)
+	fields, err := ReadReplyLine(r)
+	if err != nil || len(fields) != 3 || fields[0] != "VALUE" || fields[1] != "k" {
+		t.Fatalf("VALUE header = %v, %v", fields, err)
+	}
+	data, err := ReadValueBlock(r, fields[2])
+	if err != nil || string(data) != "vv" {
+		t.Fatalf("value block = %q, %v", data, err)
+	}
+	if fields, err = ReadReplyLine(r); err != nil || fields[0] != "STAT" || fields[2] != "12" {
+		t.Fatalf("STAT line = %v, %v", fields, err)
+	}
+	if fields, err = ReadReplyLine(r); err != nil || fields[0] != ReplyEnd {
+		t.Fatalf("END line = %v, %v", fields, err)
+	}
+}
+
+func TestReplyErrors(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	WriteClientError(w, "bad\r\nthing")
+	WriteServerError(w, "boom")
+	WriteError(w)
+	w.Flush()
+
+	r := bufio.NewReader(&buf)
+	for _, wantKind := range []string{"CLIENT_ERROR", "SERVER_ERROR", "ERROR"} {
+		_, err := ReadReplyLine(r)
+		var re *ReplyError
+		if !errors.As(err, &re) || re.Kind != wantKind {
+			t.Fatalf("reply error = %v, want kind %s", err, wantKind)
+		}
+		if strings.ContainsAny(re.Msg, "\r\n") {
+			t.Fatalf("reply message %q not sanitized", re.Msg)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync"
+
+	"valois/internal/proto"
+)
+
+// conn is one client connection served by its own goroutine.
+//
+// Graceful shutdown protocol: Shutdown marks every conn closing. A conn
+// that is idle (blocked reading the next request) is closed immediately —
+// it has no request in flight. A conn that is busy executing a request
+// finishes it, flushes the reply, and then closes itself when it observes
+// the closing mark. Either way no accepted request is abandoned mid-way.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+
+	mu      sync.Mutex
+	busy    bool // between reading a request and flushing its reply
+	closing bool
+}
+
+// setBusy flips the busy flag and reports whether shutdown was requested,
+// so the handler can exit after finishing the current request.
+func (c *conn) setBusy(b bool) (closing bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.busy = b
+	return c.closing
+}
+
+// beginShutdown is called (with srv.mu held) by Shutdown: idle conns are
+// unblocked by closing the socket; busy conns will see the mark after
+// their current request.
+func (c *conn) beginShutdown() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closing = true
+	if !c.busy {
+		c.nc.Close()
+	}
+}
+
+const connBufSize = 16 << 10
+
+func (c *conn) serve() {
+	defer c.srv.wg.Done()
+	defer c.srv.removeConn(c)
+	defer c.nc.Close()
+
+	br := bufio.NewReaderSize(c.nc, connBufSize)
+	bw := bufio.NewWriterSize(c.nc, connBufSize)
+	for {
+		cmd, err := proto.ReadCommand(br)
+		if err != nil {
+			if !c.replyReadError(bw, err) {
+				return
+			}
+			continue
+		}
+		if c.setBusy(true) {
+			// Shutdown won the race before we started executing; the
+			// request was read but not begun, so dropping it is safe.
+			return
+		}
+		quit := c.srv.dispatch(bw, cmd)
+		flushErr := bw.Flush()
+		closing := c.setBusy(false)
+		if quit || closing || flushErr != nil {
+			return
+		}
+	}
+}
+
+// replyReadError answers a failed ReadCommand and reports whether the
+// connection should keep reading. Malformed requests draw an error reply;
+// framing-destroying ones additionally close the connection; socket errors
+// just close.
+func (c *conn) replyReadError(bw *bufio.Writer, err error) (keepGoing bool) {
+	var ce *proto.ClientError
+	switch {
+	case errors.As(err, &ce):
+		c.srv.protoErrs.Add(1)
+		proto.WriteClientError(bw, ce.Msg)
+		bw.Flush()
+		return !ce.Fatal
+	case errors.Is(err, proto.ErrUnknownVerb):
+		c.srv.protoErrs.Add(1)
+		proto.WriteError(bw)
+		return bw.Flush() == nil
+	default:
+		// io error: peer went away or shutdown closed the socket.
+		return false
+	}
+}
+
+// dispatch executes one command and writes (not flushes) its reply,
+// reporting whether the connection should close (QUIT).
+func (s *Server) dispatch(bw *bufio.Writer, cmd proto.Command) (quit bool) {
+	switch cmd.Verb {
+	case proto.VerbGet:
+		s.cmdGet.Add(1)
+		if v, ok := s.shardFor(cmd.Key).d.Find(cmd.Key); ok {
+			s.getHits.Add(1)
+			proto.WriteValue(bw, cmd.Key, v)
+		} else {
+			s.getMisses.Add(1)
+		}
+		proto.WriteLine(bw, proto.ReplyEnd)
+
+	case proto.VerbSet:
+		s.cmdSet.Add(1)
+		s.shardFor(cmd.Key).set(cmd.Key, cmd.Value)
+		proto.WriteLine(bw, proto.ReplyStored)
+
+	case proto.VerbDelete:
+		s.cmdDelete.Add(1)
+		if s.shardFor(cmd.Key).d.Delete(cmd.Key) {
+			s.deleteHits.Add(1)
+			proto.WriteLine(bw, proto.ReplyDeleted)
+		} else {
+			s.deleteMisses.Add(1)
+			proto.WriteLine(bw, proto.ReplyNotFound)
+		}
+
+	case proto.VerbRange:
+		s.cmdRange.Add(1)
+		if !s.Ordered() {
+			s.protoErrs.Add(1)
+			proto.WriteClientError(bw, "RANGE requires an ordered backend (list, skiplist, bst)")
+			return false
+		}
+		for _, item := range s.rangeMerged(cmd.Key, cmd.Count) {
+			proto.WriteValue(bw, item.key, item.value)
+		}
+		proto.WriteLine(bw, proto.ReplyEnd)
+
+	case proto.VerbStats:
+		s.cmdStats.Add(1)
+		for _, st := range s.Stats() {
+			proto.WriteStat(bw, st.Name, st.Value)
+		}
+		proto.WriteLine(bw, proto.ReplyEnd)
+
+	case proto.VerbQuit:
+		return true
+	}
+	return false
+}

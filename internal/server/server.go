@@ -1,0 +1,380 @@
+// Package server implements valoisd, a TCP key-value server whose entire
+// storage engine is the paper's §4 lock-free dictionary structures. Keys
+// are sharded by hash across N independent dictionary instances so that
+// the lock-free structures — not the accept loop or any server-side lock —
+// are where concurrent operations meet; each connection is served by its
+// own goroutine, exactly the paper's process-per-operation model with
+// goroutines standing in for processes.
+//
+// The wire protocol is the memcached-style text protocol of
+// internal/proto. The backend structure (sorted list, hash table, skip
+// list, or BST) and the §5 memory mode (GC or RC) are chosen at
+// construction, making the server a network-facing harness for comparing
+// the paper's structures under real socket-driven load (cmd/lfload).
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"valois/internal/bst"
+	"valois/internal/dict"
+	"valois/internal/mm"
+	"valois/internal/skiplist"
+)
+
+// ErrServerClosed is returned by Serve after Shutdown begins.
+var ErrServerClosed = errors.New("server: closed")
+
+// Backend names a dictionary structure from §4 of the paper.
+const (
+	BackendList     = "list"     // §4.1 single sorted lock-free list
+	BackendHash     = "hash"     // §4.1 hash table of sorted lists
+	BackendSkipList = "skiplist" // §4.1 lock-free skip list
+	BackendBST      = "bst"      // §4.2 binary search tree with aux nodes
+)
+
+// Backends lists the valid Config.Backend values.
+func Backends() []string {
+	return []string{BackendList, BackendHash, BackendSkipList, BackendBST}
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	// Backend selects the §4 structure each shard instantiates:
+	// "list", "hash", "skiplist" (default), or "bst".
+	Backend string
+	// Mode selects cell reclamation: "gc" (default) or "rc" (§5).
+	Mode string
+	// Shards is the number of independent dictionary instances keys are
+	// hashed across. Default 16.
+	Shards int
+	// Buckets is the bucket count per shard for the hash backend.
+	// Default 1024.
+	Buckets int
+	// Logf, if set, receives connection-level diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// ordered is the iteration surface shared by the three ordered backends;
+// the hash backend does not provide it and RANGE is rejected there.
+type ordered interface {
+	RangeFrom(start string, f func(key string, value []byte) bool)
+}
+
+// shard is one independent dictionary instance.
+type shard struct {
+	d     dict.Dictionary[string, []byte]
+	ord   ordered         // nil for the hash backend
+	mem   func() mm.Stats // §5 manager counters
+	size  func() int      // snapshot item count
+	close func()          // release cells (required under RC)
+}
+
+// Server is a valoisd instance. Create with New, start with Serve or
+// ListenAndServe, stop with Shutdown.
+type Server struct {
+	cfg    Config
+	mode   mm.Mode
+	shards []*shard
+	start  time.Time
+
+	mu      sync.Mutex
+	ln      net.Listener
+	conns   map[*conn]struct{}
+	closing bool
+
+	wg sync.WaitGroup // live connection handlers
+
+	closeShards sync.Once
+
+	// Counters exposed by STATS.
+	totalConns   atomic.Int64
+	protoErrs    atomic.Int64
+	cmdGet       atomic.Int64
+	cmdSet       atomic.Int64
+	cmdDelete    atomic.Int64
+	cmdRange     atomic.Int64
+	cmdStats     atomic.Int64
+	getHits      atomic.Int64
+	getMisses    atomic.Int64
+	deleteHits   atomic.Int64
+	deleteMisses atomic.Int64
+}
+
+// New returns a configured server with its shards allocated.
+func New(cfg Config) (*Server, error) {
+	if cfg.Backend == "" {
+		cfg.Backend = BackendSkipList
+	}
+	if cfg.Mode == "" {
+		cfg.Mode = "gc"
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 16
+	}
+	if cfg.Buckets <= 0 {
+		cfg.Buckets = 1024
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	var mode mm.Mode
+	switch cfg.Mode {
+	case "gc":
+		mode = mm.ModeGC
+	case "rc":
+		mode = mm.ModeRC
+	default:
+		return nil, fmt.Errorf("server: unknown memory mode %q (want gc or rc)", cfg.Mode)
+	}
+	s := &Server{
+		cfg:    cfg,
+		mode:   mode,
+		shards: make([]*shard, cfg.Shards),
+		start:  time.Now(),
+		conns:  make(map[*conn]struct{}),
+	}
+	for i := range s.shards {
+		sh, err := newShard(cfg, mode)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i] = sh
+	}
+	return s, nil
+}
+
+func newShard(cfg Config, mode mm.Mode) (*shard, error) {
+	switch cfg.Backend {
+	case BackendList:
+		d := dict.NewSortedList[string, []byte](mode)
+		return &shard{d: d, ord: d, mem: d.MemStats, size: d.Len, close: d.Close}, nil
+	case BackendHash:
+		d := dict.NewHash[string, []byte](cfg.Buckets, mode, dict.HashString)
+		return &shard{d: d, mem: d.MemStats, size: d.Len, close: d.Close}, nil
+	case BackendSkipList:
+		d := skiplist.New[string, []byte](mode)
+		return &shard{d: d, ord: d, mem: d.MemStats, size: d.Len, close: d.Close}, nil
+	case BackendBST:
+		d := bst.New[string, []byte](mode)
+		return &shard{d: d, ord: d, mem: d.MemStats, size: d.Len, close: d.Close}, nil
+	default:
+		return nil, fmt.Errorf("server: unknown backend %q (want one of %v)", cfg.Backend, Backends())
+	}
+}
+
+// Ordered reports whether the configured backend supports RANGE.
+func (s *Server) Ordered() bool { return s.shards[0].ord != nil }
+
+// shardFor hashes a key to its shard.
+func (s *Server) shardFor(key string) *shard {
+	return s.shards[dict.HashString(key)%uint64(len(s.shards))]
+}
+
+// set is an upsert: the paper's Insert (Figure 12) refuses duplicate keys
+// rather than replacing, so SET loops delete-then-insert until its insert
+// wins. Each iteration is lock-free; the loop retries only when another
+// goroutine re-inserted the key in the window, so it terminates unless the
+// key is under perpetual contention from other writers.
+func (sh *shard) set(key string, value []byte) {
+	for {
+		if sh.d.Insert(key, value) {
+			return
+		}
+		sh.d.Delete(key)
+	}
+}
+
+// Addr returns the listening address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// ListenAndServe listens on addr and calls Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln, spawning one handler goroutine per
+// connection, until Shutdown closes the listener. It always returns a
+// non-nil error; after Shutdown the error is ErrServerClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closing := s.closing
+			s.mu.Unlock()
+			if closing {
+				return ErrServerClosed
+			}
+			return err
+		}
+		c := &conn{srv: s, nc: nc}
+		s.mu.Lock()
+		if s.closing {
+			s.mu.Unlock()
+			nc.Close()
+			return ErrServerClosed
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		s.totalConns.Add(1)
+		go c.serve()
+	}
+}
+
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// Shutdown stops the server gracefully: it closes the listener, lets every
+// connection finish the request it is currently executing, closes idle
+// connections immediately, and waits for all handlers to drain. If ctx
+// expires first, remaining connections are closed forcibly and ctx's error
+// is returned. After the handlers drain the shards are closed, returning
+// their cells to the §5 managers (observable as mm_reclaims under RC).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closing = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.beginShutdown()
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.nc.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		err = ctx.Err()
+	}
+	s.closeShards.Do(func() {
+		for _, sh := range s.shards {
+			sh.close()
+		}
+	})
+	return err
+}
+
+// Stat is one STATS line.
+type Stat struct {
+	Name  string
+	Value string
+}
+
+// Stats returns the server's statistics snapshot: identity, connection and
+// per-verb counters, per-shard item counts, and the summed §5 memory
+// manager counters.
+func (s *Server) Stats() []Stat {
+	s.mu.Lock()
+	currConns := len(s.conns)
+	s.mu.Unlock()
+
+	items := 0
+	perShard := make([]int, len(s.shards))
+	var mem mm.Stats
+	for i, sh := range s.shards {
+		perShard[i] = sh.size()
+		items += perShard[i]
+		m := sh.mem()
+		mem.Allocs += m.Allocs
+		mem.Reclaims += m.Reclaims
+		mem.Created += m.Created
+	}
+
+	n := func(v int64) string { return fmt.Sprintf("%d", v) }
+	stats := []Stat{
+		{"backend", s.cfg.Backend},
+		{"mode", s.cfg.Mode},
+		{"shards", n(int64(len(s.shards)))},
+		{"uptime_seconds", n(int64(time.Since(s.start).Seconds()))},
+		{"curr_connections", n(int64(currConns))},
+		{"total_connections", n(s.totalConns.Load())},
+		{"cmd_get", n(s.cmdGet.Load())},
+		{"cmd_set", n(s.cmdSet.Load())},
+		{"cmd_delete", n(s.cmdDelete.Load())},
+		{"cmd_range", n(s.cmdRange.Load())},
+		{"cmd_stats", n(s.cmdStats.Load())},
+		{"get_hits", n(s.getHits.Load())},
+		{"get_misses", n(s.getMisses.Load())},
+		{"delete_hits", n(s.deleteHits.Load())},
+		{"delete_misses", n(s.deleteMisses.Load())},
+		{"protocol_errors", n(s.protoErrs.Load())},
+		{"curr_items", n(int64(items))},
+		{"mm_allocs", n(mem.Allocs)},
+		{"mm_reclaims", n(mem.Reclaims)},
+		{"mm_live", n(mem.Live())},
+		{"mm_created", n(mem.Created)},
+	}
+	for i, c := range perShard {
+		stats = append(stats, Stat{fmt.Sprintf("shard%d_items", i), n(int64(c))})
+	}
+	return stats
+}
+
+// rangeMerged collects up to count items with key ≥ start across all
+// shards and merges them into global key order (each shard is
+// independently sorted; the merge re-establishes the total order).
+func (s *Server) rangeMerged(start string, count int) []kv {
+	var all []kv
+	for _, sh := range s.shards {
+		taken := 0
+		sh.ord.RangeFrom(start, func(k string, v []byte) bool {
+			all = append(all, kv{k, v})
+			taken++
+			return taken < count
+		})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].key < all[j].key })
+	if len(all) > count {
+		all = all[:count]
+	}
+	return all
+}
+
+type kv struct {
+	key   string
+	value []byte
+}

@@ -115,6 +115,10 @@ func (s *SkipList[K, V]) Levels() int { return len(s.levels) }
 // Level exposes one level's list for structural checks in tests.
 func (s *SkipList[K, V]) Level(i int) *core.List[item[K, V]] { return s.levels[i] }
 
+// MemStats returns the allocation counters of the skip list's §5 memory
+// manager (all levels share one manager).
+func (s *SkipList[K, V]) MemStats() mm.Stats { return s.manager.Stats() }
+
 // EnableStats turns on the extra-work counters on every level.
 func (s *SkipList[K, V]) EnableStats() {
 	for _, l := range s.levels {

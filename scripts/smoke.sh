@@ -1,0 +1,89 @@
+#!/bin/sh
+# smoke.sh — end-to-end smoke test of the serving path, as run by
+# `make smoke` and CI: build valoisd and lfload, boot the server on an
+# ephemeral loopback port, drive it with >= 64 concurrent connections,
+# then SIGTERM the server and require a graceful (exit 0) drain.
+#
+# Environment knobs:
+#   SMOKE_CONNS     concurrent lfload connections (default 64)
+#   SMOKE_DURATION  measured load duration       (default 3s)
+#   SMOKE_BACKEND   server backend               (default skiplist)
+#   SMOKE_MODE      memory mode: gc or rc        (default rc)
+#   SMOKE_JSON      lfload JSON report path      (default: none)
+set -eu
+
+CONNS=${SMOKE_CONNS:-64}
+DURATION=${SMOKE_DURATION:-3s}
+BACKEND=${SMOKE_BACKEND:-skiplist}
+MODE=${SMOKE_MODE:-rc}
+JSON=${SMOKE_JSON:-}
+
+workdir=$(mktemp -d)
+server_pid=
+cleanup() {
+    if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+        kill -KILL "$server_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "smoke: building valoisd and lfload"
+go build -o "$workdir/valoisd" ./cmd/valoisd
+go build -o "$workdir/lfload" ./cmd/lfload
+
+echo "smoke: starting valoisd (backend=$BACKEND mode=$MODE)"
+"$workdir/valoisd" -addr 127.0.0.1:0 -backend "$BACKEND" -mode "$MODE" \
+    >"$workdir/valoisd.log" 2>&1 &
+server_pid=$!
+
+# valoisd logs "serving on <addr>" once the listener is up; scrape the
+# ephemeral address from the log.
+addr=
+i=0
+while [ $i -lt 50 ]; do
+    addr=$(sed -n 's/.*serving on \([0-9.:]*\) .*/\1/p' "$workdir/valoisd.log" | head -n 1)
+    [ -n "$addr" ] && break
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        echo "smoke: valoisd exited before serving:" >&2
+        cat "$workdir/valoisd.log" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "smoke: timed out waiting for valoisd to listen:" >&2
+    cat "$workdir/valoisd.log" >&2
+    exit 1
+fi
+
+echo "smoke: loading $addr with $CONNS connections for $DURATION"
+"$workdir/lfload" -addr "$addr" -conns "$CONNS" -d "$DURATION" \
+    -mix mixed -prefill 1024 -json "$JSON"
+
+echo "smoke: SIGTERM — server must drain and exit 0"
+kill -TERM "$server_pid"
+i=0
+while kill -0 "$server_pid" 2>/dev/null; do
+    i=$((i + 1))
+    if [ $i -gt 150 ]; then
+        echo "smoke: valoisd did not exit within 15s of SIGTERM" >&2
+        cat "$workdir/valoisd.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+# wait recovers the exit status; a non-graceful shutdown fails here.
+set +e
+wait "$server_pid"
+status=$?
+set -e
+server_pid=
+if [ "$status" -ne 0 ]; then
+    echo "smoke: valoisd exited $status after SIGTERM, want 0:" >&2
+    cat "$workdir/valoisd.log" >&2
+    exit 1
+fi
+
+echo "smoke: OK"
