@@ -21,7 +21,7 @@ CONNS ?= 64
 LOAD_DURATION ?= 10s
 
 .PHONY: build test race lint lint-json lint-sarif fuzz-short fmt-check \
-	serve loadgen smoke
+	bench-quick serve loadgen smoke
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,13 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+
+# bench-quick runs the free-list contention experiment (E10) at reduced
+# iterations — a CI-speed regression check that the striped free list
+# still beats the single head under multiprogramming. The committed
+# BENCH_E10.json is from the full run: go run ./cmd/lfbench -e E10 -json-dir .
+bench-quick:
+	$(GO) run ./cmd/lfbench -e E10 -quick -d 50ms
 
 fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzDictionarySemantics -fuzztime=$(FUZZTIME) ./internal/dict

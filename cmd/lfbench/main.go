@@ -1,5 +1,5 @@
 // Command lfbench regenerates the paper-reproduction experiment tables
-// E1–E9 (see DESIGN.md for the per-claim index and EXPERIMENTS.md for the
+// E1–E10 (see DESIGN.md for the per-claim index and EXPERIMENTS.md for the
 // recorded results).
 //
 // Usage:
@@ -55,7 +55,7 @@ func run(args []string) error {
 		for _, id := range strings.Split(*which, ",") {
 			r, ok := experiments.Lookup(strings.TrimSpace(id))
 			if !ok {
-				return fmt.Errorf("unknown experiment %q (valid: E1..E9)", id)
+				return fmt.Errorf("unknown experiment %q (valid: E1..E10)", id)
 			}
 			runners = append(runners, r)
 		}

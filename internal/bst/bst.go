@@ -57,12 +57,14 @@ func (w TreeWorkStats) ExtraWork() int64 {
 	return w.InsertRetries + w.Restarts + w.Helps + w.MoveScans
 }
 
-// New returns an empty tree under the given memory mode.
-func New[K cmp.Ordered, V any](mode mm.Mode) *Tree[K, V] {
+// New returns an empty tree under the given memory mode. RC options
+// (free-list striping, cell padding, backoff — see mm.NewRC) apply under
+// mm.ModeRC and are ignored under mm.ModeGC.
+func New[K cmp.Ordered, V any](mode mm.Mode, opts ...mm.RCOption) *Tree[K, V] {
 	var manager mm.Manager[item[K, V]]
 	switch mode {
 	case mm.ModeRC:
-		rc := mm.NewRC[item[K, V]]()
+		rc := mm.NewRC[item[K, V]](opts...)
 		rc.SetReclaimExtractor(func(it item[K, V]) (*mm.Node[item[K, V]], *mm.Node[item[K, V]]) {
 			return it.Left, it.Right
 		})

@@ -2,6 +2,7 @@ package core
 
 import (
 	"valois/internal/mm"
+	"valois/internal/primitive"
 )
 
 // Cursor is a position in a list (§2.1), implemented as the three pointers
@@ -234,6 +235,7 @@ func (c *Cursor[T]) TryDelete() bool {
 	// success, or when p has itself been deleted (its deleter's back_link
 	// walk takes over), or when the chain has been extended by another
 	// deletion (that deleter's collapse takes over).
+	backoff := primitive.Backoff{Disabled: c.list.noBackoff}
 	for {
 		m2 := c.list
 		m2.maybeYield()
@@ -248,6 +250,7 @@ func (c *Cursor[T]) TryDelete() bool {
 		if after := n.Next(); after != nil && after.IsAux() {
 			break
 		}
+		backoff.Wait()               // §2.1: contended swing; back off before re-reading
 		m.Release(s)                 // Fig 10 line 19
 		s = m.SafeRead(p.NextAddr()) // Fig 10 line 20
 		c.list.stats.addDeleteCASRetries(1)

@@ -54,6 +54,7 @@ type List[T any] struct {
 
 	yield        func() // see SetYieldHook / EnableTorture
 	noAuxRemoval bool   // see DisableAuxRemoval
+	noBackoff    bool   // see DisableBackoff
 }
 
 // The traversal loop runs a handful of nanoseconds per hop, so the no-op
@@ -154,6 +155,12 @@ func (l *List[T]) EnableTorture(period uint32) {
 // experiment, which quantifies how much that design choice contributes;
 // must be called before the list is shared.
 func (l *List[T]) DisableAuxRemoval() { l.noAuxRemoval = true }
+
+// DisableBackoff turns off the exponential backoff in TryDelete's
+// chain-collapse Compare&Swap retry loop (Figure 10 lines 17–21), leaving
+// the paper's bare loop. For the A1 ablation and the faithful
+// configuration; must be called before the list is shared.
+func (l *List[T]) DisableBackoff() { l.noBackoff = true }
 
 // maybeYield runs the yield hook; called before structural CASes.
 func (l *List[T]) maybeYield() {

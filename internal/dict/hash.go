@@ -22,7 +22,8 @@ var _ Dictionary[int, int] = (*Hash[int, int])(nil)
 // NewHash returns a hash dictionary with nbuckets buckets using the given
 // hash function. The bucket count is fixed for the structure's lifetime
 // (the paper's structure does not resize). nbuckets must be positive.
-func NewHash[K cmp.Ordered, V any](nbuckets int, mode mm.Mode, hash func(K) uint64) *Hash[K, V] {
+// RC options are forwarded to every bucket's manager (see NewSortedList).
+func NewHash[K cmp.Ordered, V any](nbuckets int, mode mm.Mode, hash func(K) uint64, opts ...mm.RCOption) *Hash[K, V] {
 	if nbuckets < 1 {
 		nbuckets = 1
 	}
@@ -31,7 +32,7 @@ func NewHash[K cmp.Ordered, V any](nbuckets int, mode mm.Mode, hash func(K) uint
 		hash:    hash,
 	}
 	for i := range h.buckets {
-		h.buckets[i] = NewSortedList[K, V](mode)
+		h.buckets[i] = NewSortedList[K, V](mode, opts...)
 	}
 	return h
 }
@@ -64,10 +65,7 @@ func (h *Hash[K, V]) Len() int {
 func (h *Hash[K, V]) MemStats() mm.Stats {
 	var total mm.Stats
 	for _, b := range h.buckets {
-		s := b.MemStats()
-		total.Allocs += s.Allocs
-		total.Reclaims += s.Reclaims
-		total.Created += s.Created
+		total.Add(b.MemStats())
 	}
 	return total
 }

@@ -20,9 +20,11 @@ type SortedList[K cmp.Ordered, V any] struct {
 var _ Dictionary[int, int] = (*SortedList[int, int])(nil)
 
 // NewSortedList returns an empty sorted-list dictionary whose cells come
-// from a fresh manager of the given mode.
-func NewSortedList[K cmp.Ordered, V any](mode mm.Mode) *SortedList[K, V] {
-	return &SortedList[K, V]{list: core.New(mm.NewManager[Entry[K, V]](mode))}
+// from a fresh manager of the given mode. RC options (free-list striping,
+// cell padding, backoff — see mm.NewRC) apply under mm.ModeRC and are
+// ignored under mm.ModeGC.
+func NewSortedList[K cmp.Ordered, V any](mode mm.Mode, opts ...mm.RCOption) *SortedList[K, V] {
+	return &SortedList[K, V]{list: core.New(mm.NewManager[Entry[K, V]](mode, opts...))}
 }
 
 // List exposes the underlying lock-free list for structural checks and
@@ -41,9 +43,13 @@ func (s *SortedList[K, V]) EnableTorture(period uint32) { s.list.EnableTorture(p
 
 // DisableBackoff turns off the exponential backoff in the Insert/Delete
 // retry loops (§2.1 recommends backoff for "starvation at high levels of
-// contention"). For the A1 ablation experiment; must be called before the
-// structure is shared.
-func (s *SortedList[K, V]) DisableBackoff() { s.noBackoff = true }
+// contention"), and in the list-level TryDelete collapse loop. For the A1
+// ablation experiment and the faithful configuration; must be called
+// before the structure is shared.
+func (s *SortedList[K, V]) DisableBackoff() {
+	s.noBackoff = true
+	s.list.DisableBackoff()
+}
 
 // findFrom implements FindFrom (Figure 11): search onward from the
 // cursor's position for the key, leaving the cursor either on the matching
@@ -89,7 +95,7 @@ func (s *SortedList[K, V]) Insert(key K, value V) bool {
 	if q == nil {
 		return false // capacity exhausted (only with a bounded RC manager)
 	}
-	var backoff primitive.Backoff
+	backoff := primitive.Backoff{Disabled: s.noBackoff}
 	for {
 		if findFrom(key, c) { // Fig 12 lines 5-7: key already present
 			s.list.ReleaseNodes(q, a)
@@ -100,10 +106,8 @@ func (s *SortedList[K, V]) Insert(key K, value V) bool {
 			return true
 		}
 		s.list.Stats().AddInsertRetries(1)
-		if !s.noBackoff {
-			backoff.Wait() // §2.1: exponential backoff under contention
-		}
-		c.Update() // Fig 12 line 11; the loop re-runs FindFrom, which both
+		backoff.Wait() // §2.1: exponential backoff under contention
+		c.Update()     // Fig 12 line 11; the loop re-runs FindFrom, which both
 		// re-checks uniqueness and re-establishes the insertion point
 	}
 }
@@ -113,7 +117,7 @@ func (s *SortedList[K, V]) Insert(key K, value V) bool {
 func (s *SortedList[K, V]) Delete(key K) bool {
 	c := s.list.NewCursor() // Fig 13 line 1
 	defer c.Close()
-	var backoff primitive.Backoff
+	backoff := primitive.Backoff{Disabled: s.noBackoff}
 	for {
 		if !findFrom(key, c) { // Fig 13 lines 2-4
 			return false
@@ -122,9 +126,7 @@ func (s *SortedList[K, V]) Delete(key K) bool {
 			return true
 		}
 		s.list.Stats().AddDeleteRetries(1)
-		if !s.noBackoff {
-			backoff.Wait()
-		}
+		backoff.Wait()
 		c.Update() // Fig 13 line 8
 	}
 }

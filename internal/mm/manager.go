@@ -51,6 +51,38 @@ type Stats struct {
 	// Created is the number of distinct cells ever created. Under RC,
 	// Allocs-Reclaims ≤ live references and Created bounds the arena.
 	Created int64
+
+	// The remaining fields describe free-list behavior and are always
+	// zero under the GC manager, which has no free list.
+
+	// Pops counts successful Figure 17 pops, summed over stripes.
+	Pops int64
+	// Pushes counts Figure 18 pushes, summed over stripes (reclaims plus
+	// the surplus cells each arena grow contributes).
+	Pushes int64
+	// Grows counts arena growth events (batches of cells created because
+	// every stripe was empty).
+	Grows int64
+	// Steals counts Allocs satisfied from a sibling stripe after the home
+	// stripe came up empty; a high rate means the stripes are imbalanced
+	// relative to the workload's per-goroutine alloc/release mix.
+	Steals int64
+	// Stripes is the number of free-list stripes the manager was built
+	// with (a configuration echo, not a counter).
+	Stripes int
+}
+
+// Add accumulates o's counters into s (Stripes sums too, so aggregating
+// per-shard managers reports the total stripe count).
+func (s *Stats) Add(o Stats) {
+	s.Allocs += o.Allocs
+	s.Reclaims += o.Reclaims
+	s.Created += o.Created
+	s.Pops += o.Pops
+	s.Pushes += o.Pushes
+	s.Grows += o.Grows
+	s.Steals += o.Steals
+	s.Stripes += o.Stripes
 }
 
 // Live returns the number of cells currently checked out (allocated and

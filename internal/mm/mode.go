@@ -22,14 +22,16 @@ func (m Mode) String() string {
 	}
 }
 
-// NewManager returns a fresh manager of the given mode. It panics on an
-// invalid mode, which indicates a programming error at construction time.
-func NewManager[T any](mode Mode) Manager[T] {
+// NewManager returns a fresh manager of the given mode. RC options apply
+// only under ModeRC and are ignored by the GC manager (which has no free
+// list to stripe). It panics on an invalid mode, which indicates a
+// programming error at construction time.
+func NewManager[T any](mode Mode, opts ...RCOption) Manager[T] {
 	switch mode {
 	case ModeGC:
 		return NewGC[T]()
 	case ModeRC:
-		return NewRC[T]()
+		return NewRC[T](opts...)
 	default:
 		panic("mm: invalid Mode")
 	}

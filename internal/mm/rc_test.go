@@ -256,20 +256,23 @@ func TestABANaiveStackCorrupts(t *testing.T) {
 // return to the free list while P1 is stalled, the head can never be A
 // again, and P1's Compare&Swap fails harmlessly (§5.1).
 func TestABAPreventedByReferenceCounts(t *testing.T) {
-	m := NewRC[int](WithBatchSize(1))
+	// A single stripe pins the schedule to one free-list head, exactly the
+	// paper's configuration.
+	m := NewRC[int](WithStripes(1), WithBatchSize(1))
+	free := &m.stripes[0].head
 	// Materialize three cells and free them so the free list is C → B → A
 	// ... actually A → B → C in pop order (LIFO).
 	x, y, z := m.Alloc(), m.Alloc(), m.Alloc()
 	m.Release(z)
 	m.Release(y)
 	m.Release(x)
-	a := m.free.Load()
+	a := free.Load()
 	if a != x {
 		t.Fatal("expected x on top of the free list")
 	}
 
 	// P1 begins Alloc: SafeRead of the free list head, then stalls.
-	p1 := m.SafeRead(&m.free)
+	p1 := m.SafeRead(free)
 	if p1 != a {
 		t.Fatal("P1 expected to read A")
 	}
@@ -285,12 +288,12 @@ func TestABAPreventedByReferenceCounts(t *testing.T) {
 
 	// Because P1 still holds a reference, A was NOT pushed back: its
 	// count dropped to 1, not 0.
-	if m.free.Load() == a {
+	if free.Load() == a {
 		t.Fatal("A returned to the free list despite P1's reference")
 	}
 
 	// P1 resumes: the Compare&Swap of Fig 17 line 4 must fail.
-	if m.free.CompareAndSwap(p1, p1Next) {
+	if free.CompareAndSwap(p1, p1Next) {
 		t.Fatal("ABA Compare&Swap succeeded under reference counting")
 	}
 	m.Release(p1) // Fig 17 line 6; this is the last reference: A is reclaimed

@@ -45,25 +45,42 @@ func FetchAndAdd(a *atomic.Int64, delta int64) int64 {
 // backoff escalates to runtime.Gosched quickly.
 const spinLimit = 4
 
+// maxYields caps the number of runtime.Gosched calls a single Wait makes,
+// truncating the exponential growth (§2.1's backoff is likewise bounded in
+// practice to avoid starving the backer-off).
+const maxYields = 6
+
 // Backoff implements truncated exponential backoff for retry loops
 // (paper §2.1: "starvation at high levels of contention is more efficiently
 // handled by techniques such as exponential backoff"). The zero value is
-// ready to use.
+// ready to use. The delay is bounded: it spins for the first spinLimit
+// attempts and then yields the processor at most maxYields times per Wait,
+// so a single Wait never blocks for an unbounded time and the enclosing
+// retry loop stays lock-free.
 type Backoff struct {
 	attempt int
+
+	// Disabled makes Wait a no-op, so call sites can offer a faithful
+	// no-backoff configuration (the paper's bare retry loops) without
+	// branching around every Wait. Attempts are still counted.
+	Disabled bool
 }
 
 // Wait delays the caller for a duration that grows exponentially with the
 // number of times Wait has been called since the last Reset.
 func (b *Backoff) Wait() {
+	if b.Disabled {
+		b.attempt++
+		return
+	}
 	if b.attempt < spinLimit {
 		for i := 0; i < 1<<b.attempt; i++ {
 			spin()
 		}
 	} else {
 		n := b.attempt - spinLimit + 1
-		if n > 6 {
-			n = 6
+		if n > maxYields {
+			n = maxYields
 		}
 		for i := 0; i < n; i++ {
 			runtime.Gosched()

@@ -164,6 +164,11 @@ func ReadCommand(r *bufio.Reader) (Command, error) {
 		if !validKey(args[0]) {
 			return Command{}, clientErr(false, "bad key")
 		}
+		// Copy the key out NOW: args[0] aliases the bufio buffer
+		// (readLine uses ReadSlice), and reading the data block below may
+		// refill that buffer, overwriting the key bytes with later stream
+		// bytes — the key would pass validKey yet store as garbage.
+		key := string(args[0])
 		n, err := strconv.Atoi(string(args[1]))
 		if err != nil || n < 0 {
 			return Command{}, clientErr(false, "bad value length %q", args[1])
@@ -186,7 +191,7 @@ func ReadCommand(r *bufio.Reader) (Command, error) {
 		default:
 			return Command{}, clientErr(true, "value data block not terminated by CRLF")
 		}
-		return Command{Verb: VerbSet, Key: string(args[0]), Value: val}, nil
+		return Command{Verb: VerbSet, Key: key, Value: val}, nil
 
 	case "DELETE", "delete":
 		if len(args) != 1 {

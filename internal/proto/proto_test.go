@@ -11,6 +11,50 @@ import (
 
 func reader(s string) *bufio.Reader { return bufio.NewReader(strings.NewReader(s)) }
 
+// chunkedReader returns each chunk from a separate Read call, the way a
+// TCP stream can deliver a pipelined request in arbitrary pieces.
+type chunkedReader struct{ chunks []string }
+
+func (c *chunkedReader) Read(p []byte) (int, error) {
+	if len(c.chunks) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, c.chunks[0])
+	if n == len(c.chunks[0]) {
+		c.chunks = c.chunks[1:]
+	} else {
+		c.chunks[0] = c.chunks[0][n:]
+	}
+	return n, nil
+}
+
+// TestReadCommandSetSplitMidValue is a regression test: when the SET
+// command line and its data block arrive in separate reads, fetching the
+// data block refills the bufio buffer the parsed key still points into.
+// The key must be copied out before that refill, or a corrupted key —
+// arbitrary later stream bytes, including CR/LF that validKey could never
+// pass — gets stored.
+func TestReadCommandSetSplitMidValue(t *testing.T) {
+	for _, split := range []int{13, 15, 17} { // before, inside, after "hello"
+		stream := "SET alpha 5\r\nhello\r\nSET beta 4\r\nbeta\r\n"
+		r := bufio.NewReader(&chunkedReader{chunks: []string{stream[:split], stream[split:]}})
+		first, err := ReadCommand(r)
+		if err != nil {
+			t.Fatalf("split %d: first command: %v", split, err)
+		}
+		if first.Key != "alpha" || string(first.Value) != "hello" {
+			t.Fatalf("split %d: got key %q value %q, want alpha/hello", split, first.Key, first.Value)
+		}
+		second, err := ReadCommand(r)
+		if err != nil {
+			t.Fatalf("split %d: second command: %v", split, err)
+		}
+		if second.Key != "beta" || string(second.Value) != "beta" {
+			t.Fatalf("split %d: got key %q value %q, want beta/beta", split, second.Key, second.Value)
+		}
+	}
+}
+
 func TestReadCommandWellFormed(t *testing.T) {
 	tests := []struct {
 		in   string

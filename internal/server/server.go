@@ -26,6 +26,7 @@ import (
 	"valois/internal/bst"
 	"valois/internal/dict"
 	"valois/internal/mm"
+	"valois/internal/primitive"
 	"valois/internal/skiplist"
 )
 
@@ -182,13 +183,17 @@ func (s *Server) shardFor(key string) *shard {
 // rather than replacing, so SET loops delete-then-insert until its insert
 // wins. Each iteration is lock-free; the loop retries only when another
 // goroutine re-inserted the key in the window, so it terminates unless the
-// key is under perpetual contention from other writers.
+// key is under perpetual contention from other writers. Retries back off
+// exponentially (§2.1): when several connections SET the same hot key,
+// immediate retries just feed each other's delete-then-insert windows.
 func (sh *shard) set(key string, value []byte) {
+	var backoff primitive.Backoff
 	for {
 		if sh.d.Insert(key, value) {
 			return
 		}
 		sh.d.Delete(key)
+		backoff.Wait()
 	}
 }
 
@@ -318,10 +323,7 @@ func (s *Server) Stats() []Stat {
 	for i, sh := range s.shards {
 		perShard[i] = sh.size()
 		items += perShard[i]
-		m := sh.mem()
-		mem.Allocs += m.Allocs
-		mem.Reclaims += m.Reclaims
-		mem.Created += m.Created
+		mem.Add(sh.mem())
 	}
 
 	n := func(v int64) string { return fmt.Sprintf("%d", v) }
@@ -347,6 +349,15 @@ func (s *Server) Stats() []Stat {
 		{"mm_reclaims", n(mem.Reclaims)},
 		{"mm_live", n(mem.Live())},
 		{"mm_created", n(mem.Created)},
+		// Free-list behavior (all zero under mode=gc, which has no free
+		// list): pops/pushes are the Fig 17/18 traffic, grows the arena
+		// growth events, steals the cross-stripe pops, and stripes the
+		// total stripe count across shards.
+		{"mm_pops", n(mem.Pops)},
+		{"mm_pushes", n(mem.Pushes)},
+		{"mm_grows", n(mem.Grows)},
+		{"mm_steals", n(mem.Steals)},
+		{"mm_stripes", n(int64(mem.Stripes))},
 	}
 	for i, c := range perShard {
 		stats = append(stats, Stat{fmt.Sprintf("shard%d_items", i), n(int64(c))})

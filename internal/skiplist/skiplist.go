@@ -60,6 +60,7 @@ type Option interface {
 type options struct {
 	maxLevel int
 	seed     uint64
+	rcOpts   []mm.RCOption
 }
 
 type maxLevelOption int
@@ -78,6 +79,15 @@ func (s seedOption) apply(o *options) { o.seed = uint64(s) }
 // tests and benchmarks.
 func WithSeed(seed uint64) Option { return seedOption(seed) }
 
+type rcOptionsOption []mm.RCOption
+
+func (r rcOptionsOption) apply(o *options) { o.rcOpts = append(o.rcOpts, r...) }
+
+// WithRCOptions forwards options to the skip list's RC memory manager
+// (free-list striping, cell padding, backoff — see mm.NewRC). Ignored
+// under mm.ModeGC.
+func WithRCOptions(opts ...mm.RCOption) Option { return rcOptionsOption(opts) }
+
 // New returns an empty skip-list dictionary under the given memory mode.
 func New[K cmp.Ordered, V any](mode mm.Mode, opts ...Option) *SkipList[K, V] {
 	o := options{maxLevel: defaultMaxLevel, seed: 0x5eed}
@@ -90,7 +100,7 @@ func New[K cmp.Ordered, V any](mode mm.Mode, opts ...Option) *SkipList[K, V] {
 	var manager mm.Manager[item[K, V]]
 	switch mode {
 	case mm.ModeRC:
-		rc := mm.NewRC[item[K, V]]()
+		rc := mm.NewRC[item[K, V]](o.rcOpts...)
 		rc.SetReclaimExtractor(func(it item[K, V]) (*mm.Node[item[K, V]], *mm.Node[item[K, V]]) {
 			return it.Down, nil
 		})
