@@ -21,7 +21,7 @@ CONNS ?= 64
 LOAD_DURATION ?= 10s
 
 .PHONY: build test race lint lint-json lint-sarif fuzz-short fmt-check \
-	bench-quick serve loadgen smoke
+	bench-quick serve loadgen smoke chaos
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,8 @@ fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzDictionarySemantics -fuzztime=$(FUZZTIME) ./internal/dict
 	$(GO) test -run='^$$' -fuzz=FuzzAllocFree -fuzztime=$(FUZZTIME) ./internal/buddy
 	$(GO) test -run='^$$' -fuzz=FuzzParseCommand -fuzztime=$(FUZZTIME) ./internal/proto
+	$(GO) test -run='^$$' -fuzz=FuzzReadReply -fuzztime=$(FUZZTIME) ./internal/proto
+	$(GO) test -run='^$$' -fuzz=FuzzCommandRoundTrip -fuzztime=$(FUZZTIME) ./internal/proto
 
 # serve runs valoisd in the foreground; stop it with Ctrl-C or SIGTERM
 # (both drain in-flight requests before exiting).
@@ -78,3 +80,13 @@ loadgen:
 smoke:
 	SMOKE_CONNS=$(CONNS) SMOKE_BACKEND=$(BACKEND) SMOKE_MODE=$(MODE) \
 		sh scripts/smoke.sh
+
+# chaos runs the fault-injection suite race-enabled: every backend ×
+# memory mode through the faultnet proxy with client histories checked
+# for wire-level linearizability, plus the deadline / max-conns / panic
+# hardening tests (DESIGN.md §8). Failures print the replay seed.
+chaos:
+	$(GO) test -race -count=1 ./internal/faultnet
+	VALOIS_STRESS_DIV=$(RACE_STRESS_DIV) $(GO) test -race -count=1 -timeout 15m \
+		-run 'TestChaos|TestWireLinearizable|TestSlowLoris|TestIdleTimeout|TestMaxConns|TestPanicIsolation|TestRetry|TestTransient|TestFatalProto' \
+		./internal/server ./internal/client

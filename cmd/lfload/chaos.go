@@ -1,0 +1,139 @@
+package main
+
+// Chaos mode (-chaos): lfload routes its traffic through an in-process
+// faultnet proxy, records a client-side history of every operation, and
+// checks it for linearizability against the wire KV specification when
+// the run ends. Faults are derived from -chaos-seed alone, so a failing
+// run is replayed by re-running lfload with the same seed and workload
+// flags.
+//
+// Retries are forced off in this mode: one logical operation is one wire
+// attempt, so the server executes it at most once and an operation whose
+// reply never arrived is recorded Lost — linearize.CheckKV accepts both
+// the history where it executed and the one where it did not. With
+// retries on, a timed-out first attempt could land after its retry and
+// the at-most-once accounting below would be wrong.
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"valois/internal/client"
+	"valois/internal/linearize"
+)
+
+// maxChaosEventsPerKey keeps per-key subhistories under the checker's
+// 63-event memoization cap.
+const maxChaosEventsPerKey = 60
+
+// chaosHist records the wire-level history of a chaos run.
+type chaosHist struct {
+	clock  atomic.Int64
+	setIDs atomic.Int64 // unique value per SET, so reads identify writers
+	perKey []atomic.Int64
+	lost   atomic.Int64
+
+	mu     sync.Mutex
+	events []linearize.Event
+
+	fatalOnce sync.Once
+	fatalErr  atomic.Pointer[error]
+}
+
+func newChaosHist(keySpace int) *chaosHist {
+	return &chaosHist{perKey: make([]atomic.Int64, keySpace)}
+}
+
+// claim reserves history budget for one operation on key k, redrawing
+// keys that already hit the per-key cap. ok=false means the whole
+// keyspace is exhausted and the worker should stop: an unrecorded
+// operation would silently mutate state the checker then cannot explain.
+func (h *chaosHist) claim(k int, draw func() int) (int, bool) {
+	for try := 0; try < 16; try++ {
+		if h.perKey[k].Add(1) <= maxChaosEventsPerKey {
+			return k, true
+		}
+		h.perKey[k].Add(-1)
+		k = draw()
+	}
+	return 0, false
+}
+
+func (h *chaosHist) record(e linearize.Event) {
+	h.mu.Lock()
+	h.events = append(h.events, e)
+	h.mu.Unlock()
+}
+
+// history returns the recorded events. Call only at quiescence.
+func (h *chaosHist) history() []linearize.Event {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]linearize.Event(nil), h.events...)
+}
+
+// setFatal stores the first data-integrity failure (a stored value that
+// is not a set id — impossible unless the wire or server corrupted it).
+func (h *chaosHist) setFatal(err error) {
+	h.fatalOnce.Do(func() { h.fatalErr.Store(&err) })
+}
+
+func (h *chaosHist) fatal() error {
+	if p := h.fatalErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// get issues a GET, recording a completed Find or — on a transport
+// error — nothing at all: a read with no response has no effect.
+func (h *chaosHist) get(c *client.Client, k int) (bool, error) {
+	start := h.clock.Add(1)
+	v, found, err := c.Get(keyName(k))
+	end := h.clock.Add(1)
+	if err != nil {
+		return false, err
+	}
+	val := 0
+	if found {
+		if val, err = strconv.Atoi(string(v)); err != nil {
+			err = fmt.Errorf("GET %s returned %q, not a set id: %w", keyName(k), v, err)
+			h.setFatal(err)
+			return found, err
+		}
+	}
+	h.record(linearize.Event{Op: linearize.OpFind, Key: k, Value: val, OK: found, Start: start, End: end})
+	return found, nil
+}
+
+// set issues a SET with a unique value, recording a completed event or a
+// Lost one when the reply never arrived.
+func (h *chaosHist) set(c *client.Client, k int) error {
+	id := int(h.setIDs.Add(1))
+	start := h.clock.Add(1)
+	err := c.Set(keyName(k), []byte(strconv.Itoa(id)))
+	end := h.clock.Add(1)
+	if err != nil {
+		h.lost.Add(1)
+		h.record(linearize.Event{Op: linearize.OpInsert, Key: k, Value: id, Start: start, Lost: true})
+		return err
+	}
+	h.record(linearize.Event{Op: linearize.OpInsert, Key: k, Value: id, OK: true, Start: start, End: end})
+	return nil
+}
+
+// del issues a DELETE, recording completed or Lost.
+func (h *chaosHist) del(c *client.Client, k int) (bool, error) {
+	start := h.clock.Add(1)
+	deleted, err := c.Delete(keyName(k))
+	end := h.clock.Add(1)
+	if err != nil {
+		h.lost.Add(1)
+		h.record(linearize.Event{Op: linearize.OpDelete, Key: k, Start: start, Lost: true})
+		return false, err
+	}
+	h.record(linearize.Event{Op: linearize.OpDelete, Key: k, OK: deleted, Start: start, End: end})
+	return deleted, nil
+}

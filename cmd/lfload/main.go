@@ -17,6 +17,12 @@
 //
 // lfload exits 1 if any operation failed or drew a protocol error; a
 // clean run means every connection sustained the full workload.
+//
+// With -chaos, traffic is instead routed through an in-process
+// fault-injection proxy (internal/faultnet) seeded by -chaos-seed, the
+// run records a client-side operation history, and lfload exits 1 only
+// if that history is not linearizable under the wire KV specification —
+// transport errors are the point of the exercise (see chaos.go).
 package main
 
 import (
@@ -33,6 +39,8 @@ import (
 	"time"
 
 	"valois/internal/client"
+	"valois/internal/faultnet"
+	"valois/internal/linearize"
 	"valois/internal/proto"
 	"valois/internal/workload"
 )
@@ -63,6 +71,13 @@ type report struct {
 	ProtocolErrors int64   `json:"protocol_errors"`
 	LatP50Micros   int64   `json:"lat_p50_us"`
 	LatP99Micros   int64   `json:"lat_p99_us"`
+
+	// Chaos-mode fields, populated only when -chaos is set.
+	Chaos          bool  `json:"chaos,omitempty"`
+	ChaosSeed      int64 `json:"chaos_seed,omitempty"`
+	FaultsInjected int64 `json:"faults_injected,omitempty"`
+	LostOps        int64 `json:"lost_ops,omitempty"`
+	Linearizable   bool  `json:"linearizable,omitempty"`
 }
 
 func run(args []string, out, errw io.Writer) int {
@@ -80,6 +95,8 @@ func run(args []string, out, errw io.Writer) int {
 		jsonPath = fs.String("json", "BENCH_server.json", "write a JSON report here (empty disables)")
 		timeout  = fs.Duration("timeout", 5*time.Second, "per-operation deadline")
 		retries  = fs.Int("retries", 2, "retries per operation on transient errors")
+		chaos    = fs.Bool("chaos", false, "inject network faults and verify wire-level linearizability")
+		chaosSed = fs.Int64("chaos-seed", 1, "fault schedule seed (with -chaos); failures replay with the same seed")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -100,8 +117,30 @@ func run(args []string, out, errw io.Writer) int {
 	}
 	opts := client.Options{OpTimeout: *timeout, Retries: *retries}
 
+	target := *addr
+	var proxy *faultnet.Proxy
+	var hist *chaosHist
+	if *chaos {
+		if *prefill > 0 {
+			// Prefill stores key-name values the history cannot explain;
+			// chaos runs start from an empty (or at least untracked) state.
+			fmt.Fprintln(errw, "lfload: -chaos and -prefill are mutually exclusive")
+			return 2
+		}
+		p, err := faultnet.NewProxy(*addr, faultnet.ChaosFaults(*chaosSed))
+		if err != nil {
+			fmt.Fprintln(errw, "lfload: chaos proxy:", err)
+			return 1
+		}
+		defer p.Close()
+		proxy, hist = p, newChaosHist(*keySpace)
+		target = p.Addr()
+		opts.Retries = -1 // see chaos.go: one logical op = one wire attempt
+		fmt.Fprintf(out, "lfload: chaos mode: faults seeded with %d, retries disabled, history verified at exit\n", *chaosSed)
+	}
+
 	if *prefill > 0 {
-		if err := doPrefill(*addr, opts, *prefill, *keySpace, *seed); err != nil {
+		if err := doPrefill(target, opts, *prefill, *keySpace, *seed); err != nil {
 			fmt.Fprintln(errw, "lfload: prefill:", err)
 			return 1
 		}
@@ -126,7 +165,12 @@ func run(args []string, out, errw io.Writer) int {
 		wg.Add(1)
 		go func(wseed int64) {
 			defer wg.Done()
-			c, err := client.Dial(*addr, opts)
+			c, err := client.Dial(target, opts)
+			for retry := 0; err != nil && hist != nil && retry < 20; retry++ {
+				// The chaos proxy kills a fraction of connections at
+				// accept time; dialing through it needs persistence.
+				c, err = client.Dial(target, opts)
+			}
 			if err != nil {
 				netErrs.Add(1)
 				return
@@ -137,13 +181,20 @@ func run(args []string, out, errw io.Writer) int {
 			if dist == workload.Zipfian {
 				zipf = rand.NewZipf(rng, 1.2, 1, uint64(*keySpace-1))
 			}
+			draw := func() int {
+				if zipf != nil {
+					return int(zipf.Uint64())
+				}
+				return rng.Intn(*keySpace)
+			}
 			var localLats []time.Duration
 			for !stop.Load() {
-				k := 0
-				if zipf != nil {
-					k = int(zipf.Uint64())
-				} else {
-					k = rng.Intn(*keySpace)
+				k := draw()
+				if hist != nil {
+					var ok bool
+					if k, ok = hist.claim(k, draw); !ok {
+						return // per-key history budget exhausted everywhere
+					}
 				}
 				key := keyName(k)
 				opStart := time.Now()
@@ -151,17 +202,29 @@ func run(args []string, out, errw io.Writer) int {
 				switch p := rng.Intn(100); {
 				case p < mix.FindPct:
 					var found bool
-					_, found, err = c.Get(key)
+					if hist != nil {
+						found, err = hist.get(c, k)
+					} else {
+						_, found, err = c.Get(key)
+					}
 					gets.Add(1)
 					if found {
 						getHits.Add(1)
 					}
 				case p < mix.FindPct+mix.InsertPct:
-					err = c.Set(key, []byte(key))
+					if hist != nil {
+						err = hist.set(c, k)
+					} else {
+						err = c.Set(key, []byte(key))
+					}
 					sets.Add(1)
 				default:
 					var deleted bool
-					deleted, err = c.Delete(key)
+					if hist != nil {
+						deleted, err = hist.del(c, k)
+					} else {
+						deleted, err = c.Delete(key)
+					}
 					deletes.Add(1)
 					if deleted {
 						deleteHits.Add(1)
@@ -184,7 +247,12 @@ func run(args []string, out, errw io.Writer) int {
 			latMu.Unlock()
 		}(*seed + int64(w) + 1)
 	}
-	time.Sleep(*dur)
+	workersDone := make(chan struct{})
+	go func() { wg.Wait(); close(workersDone) }()
+	select {
+	case <-time.After(*dur):
+	case <-workersDone: // chaos history budget ran out before the clock
+	}
 	stop.Store(true)
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -220,6 +288,30 @@ func run(args []string, out, errw io.Writer) int {
 	fmt.Fprintf(out, "  latency p50=%dµs p99=%dµs; errors: network=%d protocol=%d\n",
 		r.LatP50Micros, r.LatP99Micros, r.NetErrors, r.ProtocolErrors)
 
+	chaosViolation := false
+	if hist != nil {
+		snap := proxy.Stats().Snapshot()
+		r.Chaos = true
+		r.ChaosSeed = *chaosSed
+		r.FaultsInjected = snap.Total()
+		r.LostOps = hist.lost.Load()
+		res := linearize.CheckKV(hist.history())
+		r.Linearizable = res.OK
+		fmt.Fprintf(out, "  chaos: %d faults (latency=%d partial=%d reset=%d stall=%d acceptfail=%d), %d ops lost, linearizable=%v\n",
+			snap.Total(), snap.Latencies, snap.PartialReads+snap.PartialWrites, snap.Resets, snap.Stalls, snap.AcceptFails, r.LostOps, res.OK)
+		if err := hist.fatal(); err != nil {
+			chaosViolation = true
+			fmt.Fprintf(errw, "lfload: chaos: data integrity failure (seed %d): %v\n", *chaosSed, err)
+		}
+		if !res.OK {
+			chaosViolation = true
+			fmt.Fprintf(errw, "lfload: chaos: history NOT linearizable (replay with -chaos-seed %d); violating subhistory for key %d:\n", *chaosSed, res.BadKey)
+			for _, e := range res.BadHistory {
+				fmt.Fprintf(errw, "  %v\n", e)
+			}
+		}
+	}
+
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(r, "", "  ")
 		if err == nil {
@@ -232,6 +324,16 @@ func run(args []string, out, errw io.Writer) int {
 		fmt.Fprintf(out, "  report written to %s\n", *jsonPath)
 	}
 
+	if hist != nil {
+		// Transport errors are expected under injected faults; the pass
+		// criterion is the history check (and the absence of protocol
+		// errors, which no injected fault in this mode can produce).
+		if chaosViolation || r.ProtocolErrors > 0 {
+			fmt.Fprintln(errw, "lfload: FAILED — chaos run violated the wire specification")
+			return 1
+		}
+		return 0
+	}
 	if r.ProtocolErrors > 0 || r.NetErrors > 0 {
 		fmt.Fprintln(errw, "lfload: FAILED — the run drew errors")
 		return 1

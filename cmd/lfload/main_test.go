@@ -77,6 +77,50 @@ func TestLoadRunAgainstServer(t *testing.T) {
 	}
 }
 
+// TestLoadRunChaosMode runs -chaos against a live server: the run must
+// inject faults, absorb the resulting transport errors, and still find
+// the recorded history linearizable (exit 0).
+func TestLoadRunChaosMode(t *testing.T) {
+	addr := startServer(t)
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_chaos.json")
+	var out, errw bytes.Buffer
+	code := run([]string{
+		"-addr", addr,
+		"-conns", "4",
+		"-d", "500ms",
+		"-mix", "mixed",
+		"-keyspace", "64",
+		"-chaos",
+		"-chaos-seed", "7",
+		"-timeout", "1s",
+		"-json", jsonPath,
+	}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("chaos run exited %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errw.String())
+	}
+
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("reading JSON report: %v", err)
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatalf("parsing JSON report: %v", err)
+	}
+	if !r.Chaos || r.ChaosSeed != 7 {
+		t.Fatalf("chaos identity fields wrong: %+v", r)
+	}
+	if !r.Linearizable {
+		t.Fatalf("chaos run reported non-linearizable without failing: %+v", r)
+	}
+	if r.FaultsInjected == 0 {
+		t.Fatalf("chaos run injected no faults: %+v", r)
+	}
+	if r.ProtocolErrors != 0 {
+		t.Fatalf("chaos run drew protocol errors: %+v", r)
+	}
+}
+
 func TestLoadRunBadFlags(t *testing.T) {
 	var out, errw bytes.Buffer
 	if code := run([]string{"-mix", "nonsense"}, &out, &errw); code == 0 {
@@ -87,6 +131,9 @@ func TestLoadRunBadFlags(t *testing.T) {
 	}
 	if code := run([]string{"-conns", "0"}, &out, &errw); code == 0 {
 		t.Fatal("zero -conns accepted")
+	}
+	if code := run([]string{"-chaos", "-prefill", "1"}, &out, &errw); code == 0 {
+		t.Fatal("-chaos with -prefill accepted")
 	}
 }
 

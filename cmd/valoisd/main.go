@@ -50,6 +50,10 @@ func run(args []string, logw io.Writer, onReady func(net.Addr)) int {
 		shards     = fs.Int("shards", 16, "independent dictionary instances keys are hashed across")
 		buckets    = fs.Int("buckets", 1024, "buckets per shard (hash backend only)")
 		gomaxprocs = fs.Int("gomaxprocs", 0, "if > 0, set GOMAXPROCS")
+		idleTO     = fs.Duration("idle-timeout", server.DefaultIdleTimeout, "per-connection idle deadline (negative disables)")
+		readTO     = fs.Duration("read-timeout", server.DefaultReadTimeout, "per-command read deadline (negative disables)")
+		writeTO    = fs.Duration("write-timeout", server.DefaultWriteTimeout, "per-reply write deadline (negative disables)")
+		maxConns   = fs.Int("max-conns", 0, "max concurrent connections, over-cap dials are rejected (0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -59,11 +63,15 @@ func run(args []string, logw io.Writer, onReady func(net.Addr)) int {
 	}
 
 	srv, err := server.New(server.Config{
-		Backend: *backend,
-		Mode:    *mode,
-		Shards:  *shards,
-		Buckets: *buckets,
-		Logf:    func(format string, a ...any) { fmt.Fprintf(logw, "valoisd: "+format+"\n", a...) },
+		Backend:      *backend,
+		Mode:         *mode,
+		Shards:       *shards,
+		Buckets:      *buckets,
+		IdleTimeout:  *idleTO,
+		ReadTimeout:  *readTO,
+		WriteTimeout: *writeTO,
+		MaxConns:     *maxConns,
+		Logf:         func(format string, a ...any) { fmt.Fprintf(logw, "valoisd: "+format+"\n", a...) },
 	})
 	if err != nil {
 		fmt.Fprintln(logw, "valoisd:", err)

@@ -77,6 +77,21 @@ func (h *Hash[K, V]) EnableStats() {
 	}
 }
 
+// SetYieldHook installs a yield hook on every bucket's list (see
+// core.List.SetYieldHook), for the deterministic schedule explorer. Must
+// be called before concurrent use; compare SkipList.SetYieldHook.
+func (h *Hash[K, V]) SetYieldHook(f func()) {
+	for _, b := range h.buckets {
+		b.List().SetYieldHook(f)
+	}
+}
+
+// Bucket returns bucket i (modulo the bucket count), for tests that
+// assert per-bucket structural invariants; compare SkipList.Level.
+func (h *Hash[K, V]) Bucket(i int) *SortedList[K, V] {
+	return h.buckets[i%len(h.buckets)]
+}
+
 // EnableTorture enables interleaving torture on every bucket; see
 // core.List.EnableTorture.
 func (h *Hash[K, V]) EnableTorture(period uint32) {

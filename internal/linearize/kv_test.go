@@ -1,0 +1,178 @@
+package linearize
+
+import "testing"
+
+// Shorthand constructors for hand-built wire histories. Timestamps are
+// explicit so real-time precedence is exactly what each test states.
+func set(key, value int, start, end int64) Event {
+	return Event{Op: OpInsert, Key: key, Value: value, OK: true, Start: start, End: end}
+}
+func get(key, value int, ok bool, start, end int64) Event {
+	return Event{Op: OpFind, Key: key, Value: value, OK: ok, Start: start, End: end}
+}
+func del(key int, ok bool, start, end int64) Event {
+	return Event{Op: OpDelete, Key: key, OK: ok, Start: start, End: end}
+}
+func lost(op Op, key, value int, start int64) Event {
+	return Event{Op: op, Key: key, Value: value, Start: start, Lost: true}
+}
+
+func TestKVUpsertOverwrites(t *testing.T) {
+	// SET k=1; SET k=2; GET k → 2. The second SET must overwrite — under
+	// the dict spec (Insert refuses duplicates) this same shape would
+	// need the OK=false branch, which the wire never produces.
+	h := []Event{
+		set(1, 1, 1, 2),
+		set(1, 2, 3, 4),
+		get(1, 2, true, 5, 6),
+	}
+	if r := CheckKV(h); !r.OK {
+		t.Fatalf("sequential upsert history rejected: %+v", r)
+	}
+	// A stale read of the overwritten value is a violation.
+	h[2] = get(1, 1, true, 5, 6)
+	if r := CheckKV(h); r.OK {
+		t.Fatal("stale read after overwrite accepted")
+	}
+}
+
+func TestKVCompletedSetNeverFails(t *testing.T) {
+	h := []Event{{Op: OpInsert, Key: 1, Value: 1, OK: false, Start: 1, End: 2}}
+	if r := CheckKV(h); r.OK {
+		t.Fatal("a completed SET reported as failed is not legal on the wire")
+	}
+}
+
+func TestKVDeleteSemantics(t *testing.T) {
+	// DELETE of an absent key is NOT_FOUND; after a SET it is DELETED.
+	h := []Event{
+		del(7, false, 1, 2),
+		set(7, 1, 3, 4),
+		del(7, true, 5, 6),
+		get(7, 0, false, 7, 8),
+	}
+	if r := CheckKV(h); !r.OK {
+		t.Fatalf("delete lifecycle rejected: %+v", r)
+	}
+	// NOT_FOUND while the key is provably present is a violation.
+	bad := []Event{
+		set(7, 1, 1, 2),
+		del(7, false, 3, 4),
+	}
+	if r := CheckKV(bad); r.OK {
+		t.Fatal("NOT_FOUND delete of a present key accepted")
+	}
+}
+
+// TestKVLostSetAmbiguity is the ambiguous-retry case of DESIGN.md §8: a
+// SET whose response was lost may or may not have executed, so a later
+// GET may see either the old or the new value — but nothing else.
+func TestKVLostSetAmbiguity(t *testing.T) {
+	base := []Event{
+		set(1, 10, 1, 2),
+		lost(OpInsert, 1, 20, 3), // response lost: may or may not have run
+	}
+	for _, tc := range []struct {
+		name string
+		read Event
+		ok   bool
+	}{
+		{"old value (lost SET never ran)", get(1, 10, true, 10, 11), true},
+		{"new value (lost SET ran)", get(1, 20, true, 10, 11), true},
+		{"phantom value", get(1, 99, true, 10, 11), false},
+		{"phantom miss", get(1, 0, false, 10, 11), false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			h := append(append([]Event(nil), base...), tc.read)
+			if r := CheckKV(h); r.OK != tc.ok {
+				t.Fatalf("CheckKV = %v, want %v (history %v)", r.OK, tc.ok, h)
+			}
+		})
+	}
+}
+
+// TestKVLostDeleteAmbiguity: after a lost DELETE both a hit on the old
+// value and a miss are linearizable; and a completed DELETE after it may
+// legally report either outcome.
+func TestKVLostDeleteAmbiguity(t *testing.T) {
+	base := []Event{
+		set(3, 5, 1, 2),
+		lost(OpDelete, 3, 0, 3),
+	}
+	for _, tail := range [][]Event{
+		{get(3, 5, true, 10, 11)},  // delete never ran
+		{get(3, 0, false, 10, 11)}, // delete ran
+		{del(3, true, 10, 11)},     // delete never ran; retry deletes
+		{del(3, false, 10, 11)},    // delete ran; retry finds nothing
+	} {
+		h := append(append([]Event(nil), base...), tail...)
+		if r := CheckKV(h); !r.OK {
+			t.Fatalf("ambiguous-delete history rejected: %v", h)
+		}
+	}
+}
+
+// TestKVLostOpDoesNotConstrainRealTime: a lost operation has no
+// response, so operations invoked after it are NOT forced to observe it,
+// even arbitrarily much later.
+func TestKVLostOpDoesNotConstrainRealTime(t *testing.T) {
+	h := []Event{
+		lost(OpInsert, 2, 42, 1),
+		get(2, 0, false, 100, 101), // still a miss long after: legal
+		get(2, 42, true, 200, 201), // then it "lands": also legal
+	}
+	if r := CheckKV(h); !r.OK {
+		t.Fatalf("late-landing lost SET rejected: %+v", r)
+	}
+	// But once a completed response pins the binding, real time binds:
+	// a read that responded before another read's invocation cannot see
+	// a newer state than the later read.
+	bad := []Event{
+		lost(OpInsert, 2, 42, 1),
+		get(2, 42, true, 100, 101), // observed: the SET has linearized
+		get(2, 0, false, 200, 201), // later miss with no delete: illegal
+	}
+	if r := CheckKV(bad); r.OK {
+		t.Fatal("value un-landed without a delete")
+	}
+}
+
+// TestKVConcurrentOverlap: overlapping SETs and GETs where each read is
+// explained by some linearization of the concurrent writes.
+func TestKVConcurrentOverlap(t *testing.T) {
+	h := []Event{
+		set(1, 1, 1, 10), // overlaps everything
+		set(1, 2, 2, 9),
+		get(1, 2, true, 3, 4), // sees SET(2) first
+		get(1, 1, true, 5, 6), // then SET(1): legal, they overlap
+	}
+	if r := CheckKV(h); !r.OK {
+		t.Fatalf("overlapping writes rejected: %+v", r)
+	}
+	// Non-overlapping version of the same reads is a violation: SET(1)
+	// responded before GET→2 was invoked and nothing overwrote 1 back.
+	bad := []Event{
+		set(1, 1, 1, 2),
+		set(1, 2, 3, 4),
+		get(1, 2, true, 5, 6),
+		get(1, 1, true, 7, 8),
+	}
+	if r := CheckKV(bad); r.OK {
+		t.Fatal("time-travelling read accepted")
+	}
+}
+
+// TestDictSpecStillRefusesDuplicates guards the refactor: Check (the
+// paper's dictionary spec) must still reject what CheckKV accepts.
+func TestDictSpecStillRefusesDuplicates(t *testing.T) {
+	h := []Event{
+		{Op: OpInsert, Key: 1, Value: 1, OK: true, Start: 1, End: 2},
+		{Op: OpInsert, Key: 1, Value: 2, OK: true, Start: 3, End: 4},
+	}
+	if r := Check(h); r.OK {
+		t.Fatal("dict spec accepted a duplicate successful Insert")
+	}
+	if r := CheckKV(h); !r.OK {
+		t.Fatal("wire spec rejected an upsert")
+	}
+}

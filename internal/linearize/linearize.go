@@ -54,7 +54,7 @@ func (o Op) String() string {
 	}
 }
 
-// Event is one completed operation in a history.
+// Event is one operation in a history.
 type Event struct {
 	Op    Op
 	Key   int
@@ -62,9 +62,19 @@ type Event struct {
 	OK    bool // Insert/Delete success, or Find hit
 	Start int64
 	End   int64
+	// Lost marks an operation whose invocation was observed but whose
+	// response never arrived (the connection died or timed out before
+	// the reply). The server may or may not have executed it, so the
+	// checker must accept histories where it took effect at any point
+	// after Start and histories where it never ran at all. OK, Value
+	// (for Find), and End are meaningless on a lost event.
+	Lost bool
 }
 
 func (e Event) String() string {
+	if e.Lost {
+		return fmt.Sprintf("%s(%d)=LOST,%d [%d,?]", e.Op, e.Key, e.Value, e.Start)
+	}
 	return fmt.Sprintf("%s(%d)=%v,%d [%d,%d]", e.Op, e.Key, e.OK, e.Value, e.Start, e.End)
 }
 
@@ -150,8 +160,15 @@ type Result struct {
 }
 
 // Check verifies the history against the sequential dictionary
-// specification, per key. An empty history is linearizable.
+// specification (Insert refuses duplicates), per key. An empty history
+// is linearizable.
 func Check(history []Event) Result {
+	return checkHistory(history, keyState.apply)
+}
+
+// checkHistory runs the per-key decomposition under the given
+// single-key sequential specification.
+func checkHistory(history []Event, apply func(keyState, Event) (keyState, bool)) Result {
 	byKey := make(map[int][]Event)
 	for _, e := range history {
 		byKey[e.Key] = append(byKey[e.Key], e)
@@ -164,7 +181,7 @@ func Check(history []Event) Result {
 	for _, k := range keys {
 		sub := byKey[k]
 		sort.Slice(sub, func(i, j int) bool { return sub[i].Start < sub[j].Start })
-		if !checkKey(sub) {
+		if !checkKey(sub, apply) {
 			return Result{BadKey: k, BadHistory: sub}
 		}
 	}
@@ -179,6 +196,11 @@ type keyState struct {
 
 // apply returns the post-state if e is legal in state st, or ok=false.
 func (st keyState) apply(e Event) (keyState, bool) {
+	if e.Lost {
+		// No response to honor: the effect at this linearization point
+		// is whatever the operation would deterministically do here.
+		return st.applyLost(e)
+	}
 	switch e.Op {
 	case OpFind:
 		if e.OK != st.present {
@@ -215,9 +237,36 @@ func (st keyState) apply(e Event) (keyState, bool) {
 	}
 }
 
+// applyLost is the Lost arm shared by both specifications: a lost
+// Find has no effect; a lost Insert/Delete does whatever that operation
+// would do in state st, with no reported result to contradict.
+func (st keyState) applyLost(e Event) (keyState, bool) {
+	switch e.Op {
+	case OpFind:
+		return st, true
+	case OpInsert:
+		if st.present {
+			return st, true // dict Insert refuses duplicates; no effect
+		}
+		return keyState{present: true, value: e.Value}, true
+	case OpDelete:
+		if !st.present {
+			return st, true
+		}
+		return keyState{}, true
+	default:
+		return st, false
+	}
+}
+
 // checkKey runs the Wing-Gong search with memoization over one key's
-// subhistory (events sorted by Start).
-func checkKey(events []Event) bool {
+// subhistory (events sorted by Start), under the given sequential
+// specification. Lost operations (Event.Lost) have no response: they
+// never constrain the real-time order (their End is treated as +inf)
+// and the search may either linearize them at some point after their
+// invocation or decide they never executed — the history is accepted
+// once every completed operation is linearized.
+func checkKey(events []Event, apply func(keyState, Event) (keyState, bool)) bool {
 	n := len(events)
 	if n == 0 {
 		return true
@@ -226,6 +275,15 @@ func checkKey(events []Event) bool {
 		// The bitmask memoization caps at 63 events per key; histories
 		// should be generated below that (the tests are).
 		panic("linearize: per-key history too large")
+	}
+	// required is the mask of completed operations: the search succeeds
+	// when all of them are linearized, whatever subset of lost
+	// operations was taken along the way.
+	var required uint64
+	for i, e := range events {
+		if !e.Lost {
+			required |= 1 << i
+		}
 	}
 	type memoKey struct {
 		done    uint64
@@ -236,7 +294,7 @@ func checkKey(events []Event) bool {
 
 	var dfs func(done uint64, st keyState) bool
 	dfs = func(done uint64, st keyState) bool {
-		if done == uint64(1)<<n-1 {
+		if done&required == required {
 			return true
 		}
 		mk := memoKey{done: done, present: st.present, value: st.value}
@@ -250,9 +308,10 @@ func checkKey(events []Event) bool {
 		// only be chosen if it was invoked before every pending
 		// operation's response (otherwise some completed operation would
 		// be ordered after an operation that started after it ended).
+		// Lost operations have no response and impose no bound.
 		minEnd := int64(1) << 62
 		for i := 0; i < n; i++ {
-			if done&(1<<i) == 0 && events[i].End < minEnd {
+			if done&(1<<i) == 0 && !events[i].Lost && events[i].End < minEnd {
 				minEnd = events[i].End
 			}
 		}
@@ -267,7 +326,7 @@ func checkKey(events []Event) bool {
 				// Start, so no later candidate qualifies either.
 				break
 			}
-			if next, ok := st.apply(e); ok {
+			if next, ok := apply(st, e); ok {
 				if dfs(done|uint64(1)<<i, next) {
 					return true
 				}

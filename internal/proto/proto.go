@@ -120,6 +120,31 @@ func readLine(r *bufio.Reader) ([]byte, error) {
 	return line, nil
 }
 
+// asciiFields splits a line into tokens separated by runs of ASCII space
+// or tab. bytes.Fields would split on Unicode whitespace, which is wider
+// than what validKey (a byte-level check) forbids inside keys — a key
+// containing U+2000 would then encode fine on the client but tokenize
+// apart on the server (found by FuzzCommandRoundTrip). The wire grammar
+// is byte-oriented; so is the tokenizer.
+func asciiFields(line []byte) [][]byte {
+	var fields [][]byte
+	for len(line) > 0 {
+		for len(line) > 0 && (line[0] == ' ' || line[0] == '\t') {
+			line = line[1:]
+		}
+		if len(line) == 0 {
+			break
+		}
+		i := 0
+		for i < len(line) && line[i] != ' ' && line[i] != '\t' {
+			i++
+		}
+		fields = append(fields, line[:i])
+		line = line[i:]
+	}
+	return fields
+}
+
 // validKey reports whether k is a legal key token: 1..MaxKeyLen bytes,
 // none of which are spaces or control characters.
 func validKey(k []byte) bool {
@@ -141,7 +166,7 @@ func ReadCommand(r *bufio.Reader) (Command, error) {
 	if err != nil {
 		return Command{}, err
 	}
-	fields := bytes.Fields(line)
+	fields := asciiFields(line)
 	if len(fields) == 0 {
 		return Command{}, clientErr(false, "empty request")
 	}
@@ -336,7 +361,7 @@ func ReadReplyLine(r *bufio.Reader) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	fields := bytes.Fields(line)
+	fields := asciiFields(line)
 	if len(fields) == 0 {
 		return nil, errors.New("proto: empty reply line")
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"time"
 
 	"valois/internal/proto"
 )
@@ -52,10 +53,36 @@ func (c *conn) serve() {
 	defer c.srv.wg.Done()
 	defer c.srv.removeConn(c)
 	defer c.nc.Close()
+	// Last-resort panic isolation: a panic anywhere in this handler
+	// kills only this connection, never the server. The dispatch path
+	// has its own recover (dispatchSafe) that still answers the client;
+	// this one catches framework-level bugs.
+	defer func() {
+		if r := recover(); r != nil {
+			c.srv.connPanics.Add(1)
+			c.srv.cfg.Logf("connection %v: handler panic: %v", c.nc.RemoteAddr(), r)
+		}
+	}()
 
 	br := bufio.NewReaderSize(c.nc, connBufSize)
 	bw := bufio.NewWriterSize(c.nc, connBufSize)
 	for {
+		// Idle deadline: how long the client may think between requests.
+		if d := c.srv.cfg.IdleTimeout; d > 0 {
+			c.nc.SetReadDeadline(time.Now().Add(d))
+		}
+		if _, err := br.Peek(1); err != nil {
+			// No request started: a clean disconnect, an idle-deadline
+			// expiry, or a reset while the connection sat idle.
+			c.srv.countNetErr(err)
+			return
+		}
+		// Read deadline: once a request's first byte exists, the whole
+		// command must arrive within ReadTimeout — a slow-loris client
+		// dripping one byte at a time is cut here.
+		if d := c.srv.cfg.ReadTimeout; d > 0 {
+			c.nc.SetReadDeadline(time.Now().Add(d))
+		}
 		cmd, err := proto.ReadCommand(br)
 		if err != nil {
 			if !c.replyReadError(bw, err) {
@@ -68,13 +95,42 @@ func (c *conn) serve() {
 			// request was read but not begun, so dropping it is safe.
 			return
 		}
-		quit := c.srv.dispatch(bw, cmd)
-		flushErr := bw.Flush()
+		quit := c.dispatchSafe(bw, cmd)
+		flushErr := c.flush(bw)
 		closing := c.setBusy(false)
 		if quit || closing || flushErr != nil {
 			return
 		}
 	}
+}
+
+// flush writes the buffered reply under the write deadline, classifying
+// failures into the connection-health counters.
+func (c *conn) flush(bw *bufio.Writer) error {
+	if d := c.srv.cfg.WriteTimeout; d > 0 {
+		c.nc.SetWriteDeadline(time.Now().Add(d))
+	}
+	err := bw.Flush()
+	if err != nil {
+		c.srv.countNetErr(err)
+	}
+	return err
+}
+
+// dispatchSafe executes one command with panic isolation: a panicking
+// dispatch answers SERVER_ERROR and closes this connection (the reply
+// buffer may hold a half-written reply, so framing cannot be trusted
+// afterwards), while every other connection keeps being served.
+func (c *conn) dispatchSafe(bw *bufio.Writer, cmd proto.Command) (quit bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.srv.connPanics.Add(1)
+			c.srv.cfg.Logf("connection %v: %s dispatch panic: %v", c.nc.RemoteAddr(), cmd.Verb, r)
+			proto.WriteServerError(bw, "internal error")
+			quit = true
+		}
+	}()
+	return c.srv.dispatch(bw, cmd)
 }
 
 // replyReadError answers a failed ReadCommand and reports whether the
@@ -87,14 +143,16 @@ func (c *conn) replyReadError(bw *bufio.Writer, err error) (keepGoing bool) {
 	case errors.As(err, &ce):
 		c.srv.protoErrs.Add(1)
 		proto.WriteClientError(bw, ce.Msg)
-		bw.Flush()
+		c.flush(bw)
 		return !ce.Fatal
 	case errors.Is(err, proto.ErrUnknownVerb):
 		c.srv.protoErrs.Add(1)
 		proto.WriteError(bw)
-		return bw.Flush() == nil
+		return c.flush(bw) == nil
 	default:
-		// io error: peer went away or shutdown closed the socket.
+		// io error mid-command: the read deadline expired, the peer
+		// reset, or shutdown closed the socket.
+		c.srv.countNetErr(err)
 		return false
 	}
 }
@@ -102,6 +160,9 @@ func (c *conn) replyReadError(bw *bufio.Writer, err error) (keepGoing bool) {
 // dispatch executes one command and writes (not flushes) its reply,
 // reporting whether the connection should close (QUIT).
 func (s *Server) dispatch(bw *bufio.Writer, cmd proto.Command) (quit bool) {
+	if s.panicHook != nil {
+		s.panicHook(cmd)
+	}
 	switch cmd.Verb {
 	case proto.VerbGet:
 		s.cmdGet.Add(1)

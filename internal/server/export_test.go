@@ -1,0 +1,8 @@
+package server
+
+import "valois/internal/proto"
+
+// SetPanicHook installs a hook that runs inside dispatch, so tests can
+// make a handler panic on demand and verify per-connection isolation.
+// Install before Serve; the hook runs on connection goroutines.
+func (s *Server) SetPanicHook(f func(cmd proto.Command)) { s.panicHook = f }

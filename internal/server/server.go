@@ -14,14 +14,18 @@
 package server
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"valois/internal/proto"
 
 	"valois/internal/bst"
 	"valois/internal/dict"
@@ -59,9 +63,37 @@ type Config struct {
 	// Buckets is the bucket count per shard for the hash backend.
 	// Default 1024.
 	Buckets int
+
+	// IdleTimeout bounds how long a connection may sit between requests
+	// (waiting for the first byte of the next command). Expiry counts as
+	// conn_timeouts and closes the connection. Default 5m; negative
+	// disables.
+	IdleTimeout time.Duration
+	// ReadTimeout bounds how long one request may take to arrive once
+	// its first byte has been read — the slow-loris guard: a client
+	// trickling a command one byte at a time is cut when the whole
+	// command has not arrived in time. Default 30s; negative disables.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each reply flush, so a client that stops
+	// reading cannot pin a handler goroutine on a full socket buffer.
+	// Default 30s; negative disables.
+	WriteTimeout time.Duration
+	// MaxConns caps concurrently served connections. Connections over
+	// the cap are answered with SERVER_ERROR and closed (counted as
+	// conn_rejected); the accept loop itself never blocks on them.
+	// Default 0 = unlimited.
+	MaxConns int
+
 	// Logf, if set, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
 }
+
+// Default connection deadlines (see Config).
+const (
+	DefaultIdleTimeout  = 5 * time.Minute
+	DefaultReadTimeout  = 30 * time.Second
+	DefaultWriteTimeout = 30 * time.Second
+)
 
 // ordered is the iteration surface shared by the three ordered backends;
 // the hash backend does not provide it and RANGE is rejected there.
@@ -95,8 +127,16 @@ type Server struct {
 
 	closeShards sync.Once
 
+	// panicHook, when set (tests only), runs inside dispatch so panic
+	// isolation can be exercised without a real server bug.
+	panicHook func(cmd proto.Command)
+
 	// Counters exposed by STATS.
 	totalConns   atomic.Int64
+	connTimeouts atomic.Int64
+	connResets   atomic.Int64
+	connRejected atomic.Int64
+	connPanics   atomic.Int64
 	protoErrs    atomic.Int64
 	cmdGet       atomic.Int64
 	cmdSet       atomic.Int64
@@ -122,6 +162,15 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.Buckets <= 0 {
 		cfg.Buckets = 1024
+	}
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = DefaultIdleTimeout
+	}
+	if cfg.ReadTimeout == 0 {
+		cfg.ReadTimeout = DefaultReadTimeout
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = DefaultWriteTimeout
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -247,11 +296,44 @@ func (s *Server) Serve(ln net.Listener) error {
 			nc.Close()
 			return ErrServerClosed
 		}
+		if s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
+			s.mu.Unlock()
+			s.connRejected.Add(1)
+			s.wg.Add(1)
+			go s.rejectConn(nc) // clean rejection off the accept path
+			continue
+		}
 		s.conns[c] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
 		s.totalConns.Add(1)
 		go c.serve()
+	}
+}
+
+// rejectConn answers a connection over the MaxConns cap: one
+// SERVER_ERROR line under a short write deadline, then close. It runs on
+// its own goroutine so a rejected client that refuses to read cannot
+// stall the accept loop.
+func (s *Server) rejectConn(nc net.Conn) {
+	defer s.wg.Done()
+	nc.SetWriteDeadline(time.Now().Add(time.Second))
+	bw := bufio.NewWriter(nc)
+	proto.WriteServerError(bw, "too many connections")
+	bw.Flush()
+	nc.Close()
+}
+
+// countNetErr classifies a transport error into the connection-health
+// counters: deadline expiries are conn_timeouts, anything else except a
+// clean EOF is conn_resets (the peer vanished mid-exchange).
+func (s *Server) countNetErr(err error) {
+	var nerr net.Error
+	switch {
+	case errors.As(err, &nerr) && nerr.Timeout():
+		s.connTimeouts.Add(1)
+	case !errors.Is(err, io.EOF):
+		s.connResets.Add(1)
 	}
 }
 
@@ -344,6 +426,12 @@ func (s *Server) Stats() []Stat {
 		{"delete_hits", n(s.deleteHits.Load())},
 		{"delete_misses", n(s.deleteMisses.Load())},
 		{"protocol_errors", n(s.protoErrs.Load())},
+		// Connection-health counters (the hardening layer): deadline
+		// cuts, peer resets, MaxConns rejections, recovered panics.
+		{"conn_timeouts", n(s.connTimeouts.Load())},
+		{"conn_resets", n(s.connResets.Load())},
+		{"conn_rejected", n(s.connRejected.Load())},
+		{"conn_panics", n(s.connPanics.Load())},
 		{"curr_items", n(int64(items))},
 		{"mm_allocs", n(mem.Allocs)},
 		{"mm_reclaims", n(mem.Reclaims)},

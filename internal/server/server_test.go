@@ -7,7 +7,6 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -201,7 +200,7 @@ func TestServerStats(t *testing.T) {
 // must close the connection, and once the clients are gone the server must
 // not have leaked connection goroutines.
 func TestServerMalformedInput(t *testing.T) {
-	baseline := runtime.NumGoroutine()
+	baseline := goroutineBaseline()
 	_, addr := startServer(t, server.Config{Backend: server.BackendSkipList, Shards: 1})
 
 	send := func(payload string) (replies []string) {
@@ -271,14 +270,7 @@ func TestServerMalformedInput(t *testing.T) {
 	// All test connections are closed; the per-connection goroutines must
 	// drain. Allow the server's own accept goroutine and some slack for
 	// runtime background goroutines.
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= baseline+2 {
-			return
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	t.Fatalf("connection goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), baseline)
+	waitNoGoroutineLeak(t, baseline, 2)
 }
 
 // TestServerGracefulShutdown verifies Shutdown under live traffic: every
