@@ -12,6 +12,12 @@ RACE_STRESS_DIV ?= 10
 CHECKS ?=
 LFCHECK_FLAGS := $(if $(CHECKS),-checks $(CHECKS))
 
+# Incremental result cache for the analyzers; warm runs re-analyze only
+# packages whose sources (or in-module deps, or analyzer versions)
+# changed. Point LFCHECK_CACHE elsewhere or empty it to disable.
+LFCHECK_CACHE ?= .lfcheck-cache
+LFCHECK_CACHE_FLAGS := $(if $(LFCHECK_CACHE),-cache $(LFCHECK_CACHE))
+
 # Serving defaults: make serve / make loadgen (see scripts/smoke.sh for
 # the scripted end-to-end version CI runs).
 ADDR ?= 127.0.0.1:11311
@@ -20,8 +26,8 @@ MODE ?= rc
 CONNS ?= 64
 LOAD_DURATION ?= 10s
 
-.PHONY: build test race lint lint-json lint-sarif fuzz-short fmt-check \
-	bench-quick serve loadgen smoke chaos
+.PHONY: build test race lint lint-json lint-sarif lint-debt fuzz-short \
+	fmt-check bench-quick serve loadgen smoke chaos
 
 build:
 	$(GO) build ./...
@@ -33,17 +39,23 @@ race:
 	VALOIS_STRESS_DIV=$(RACE_STRESS_DIV) $(GO) test -race -count=1 ./internal/...
 
 # lint = the stock vet pass, the gofmt check, and the lock-free
-# invariant analyzers (cmd/lfcheck).
+# invariant analyzers (cmd/lfcheck), cache-warm on repeat runs.
 lint: fmt-check
 	$(GO) vet ./...
-	$(GO) run ./cmd/lfcheck $(LFCHECK_FLAGS) ./...
+	$(GO) run ./cmd/lfcheck $(LFCHECK_FLAGS) $(LFCHECK_CACHE_FLAGS) ./...
 
 # Machine-readable findings for CI consumers; same exit convention.
 lint-json:
-	$(GO) run ./cmd/lfcheck $(LFCHECK_FLAGS) -json ./...
+	$(GO) run ./cmd/lfcheck $(LFCHECK_FLAGS) $(LFCHECK_CACHE_FLAGS) -json ./...
 
 lint-sarif:
-	$(GO) run ./cmd/lfcheck $(LFCHECK_FLAGS) -sarif ./...
+	$(GO) run ./cmd/lfcheck $(LFCHECK_FLAGS) $(LFCHECK_CACHE_FLAGS) -sarif ./...
+
+# lint-debt inventories every //lfcheck:allow suppression (check, reason,
+# file age) so accepted analyzer debt stays a tracked number. Always
+# exits 0; add JSON=1 for machine-readable output.
+lint-debt:
+	$(GO) run ./cmd/lfcheck -debt $(if $(JSON),-json) ./...
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

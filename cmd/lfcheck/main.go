@@ -14,9 +14,13 @@ package main
 import (
 	"valois/internal/analysis/abaguard"
 	"valois/internal/analysis/atomiccopy"
+	"valois/internal/analysis/boundedretry"
 	"valois/internal/analysis/casloop"
+	"valois/internal/analysis/conndeadline"
 	"valois/internal/analysis/framework"
+	"valois/internal/analysis/goroleak"
 	"valois/internal/analysis/mixedatomic"
+	"valois/internal/analysis/publish"
 	"valois/internal/analysis/refbalance"
 	"valois/internal/analysis/saferead"
 )
@@ -29,5 +33,9 @@ func main() {
 		abaguard.Analyzer,
 		casloop.Analyzer,
 		atomiccopy.Analyzer,
+		goroleak.Analyzer,
+		conndeadline.Analyzer,
+		boundedretry.Analyzer,
+		publish.Analyzer,
 	)
 }

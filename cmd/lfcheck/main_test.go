@@ -2,15 +2,17 @@ package main_test
 
 import (
 	"encoding/json"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
 )
 
-// build compiles the lfcheck binary once into a temp dir and returns a
-// runner that executes it from the module root.
-func build(t *testing.T) func(args ...string) (string, string, int) {
+// build compiles the lfcheck binary once into a temp dir and returns two
+// runners: one executing it from the module root, one from an arbitrary
+// directory (for planted temp modules).
+func build(t *testing.T) (run func(args ...string) (string, string, int), runIn func(dir string, args ...string) (string, string, int)) {
 	t.Helper()
 	bin := filepath.Join(t.TempDir(), "lfcheck")
 	root, err := filepath.Abs("../..")
@@ -22,10 +24,10 @@ func build(t *testing.T) func(args ...string) (string, string, int) {
 	if out, err := cmd.CombinedOutput(); err != nil {
 		t.Fatalf("building lfcheck: %v\n%s", err, out)
 	}
-	return func(args ...string) (stdout, stderr string, exit int) {
+	runIn = func(dir string, args ...string) (stdout, stderr string, exit int) {
 		t.Helper()
 		cmd := exec.Command(bin, args...)
-		cmd.Dir = root
+		cmd.Dir = dir
 		var out, errb strings.Builder
 		cmd.Stdout = &out
 		cmd.Stderr = &errb
@@ -38,17 +40,25 @@ func build(t *testing.T) func(args ...string) (string, string, int) {
 		}
 		return out.String(), errb.String(), exit
 	}
+	run = func(args ...string) (string, string, int) {
+		t.Helper()
+		return runIn(root, args...)
+	}
+	return run, runIn
 }
 
 func TestLfcheckCLI(t *testing.T) {
-	run := build(t)
+	run, _ := build(t)
 
 	t.Run("list", func(t *testing.T) {
 		out, _, exit := run("-list")
 		if exit != 0 {
 			t.Fatalf("-list exit = %d, want 0", exit)
 		}
-		for _, name := range []string{"mixedatomic", "saferead", "refbalance", "abaguard", "casloop", "atomiccopy"} {
+		for _, name := range []string{
+			"mixedatomic", "saferead", "refbalance", "abaguard", "casloop", "atomiccopy",
+			"goroleak", "conndeadline", "boundedretry", "publish",
+		} {
 			if !strings.Contains(out, name) {
 				t.Errorf("-list output missing analyzer %q:\n%s", name, out)
 			}
@@ -170,8 +180,8 @@ func TestLfcheckCLI(t *testing.T) {
 			t.Fatalf("unexpected SARIF envelope: version %q, %d runs", log.Version, len(log.Runs))
 		}
 		r := log.Runs[0]
-		if r.Tool.Driver.Name != "lfcheck" || len(r.Tool.Driver.Rules) != 6 {
-			t.Fatalf("driver = %q with %d rules, want lfcheck with 6", r.Tool.Driver.Name, len(r.Tool.Driver.Rules))
+		if r.Tool.Driver.Name != "lfcheck" || len(r.Tool.Driver.Rules) != 10 {
+			t.Fatalf("driver = %q with %d rules, want lfcheck with 10", r.Tool.Driver.Name, len(r.Tool.Driver.Rules))
 		}
 		if len(r.Results) == 0 {
 			t.Fatal("SARIF results are empty")
@@ -194,4 +204,177 @@ func TestLfcheckCLI(t *testing.T) {
 			t.Fatalf("unexpected finding: %s", lines[0])
 		}
 	})
+
+	t.Run("whole tree is clean", func(t *testing.T) {
+		// The suite's acceptance bar: all ten analyzers at zero findings
+		// tree-wide. This is also the regression net for the backoff and
+		// deadline fixes — removing one re-flags its loop here.
+		out, stderr, exit := run("./...")
+		if exit != 0 {
+			t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", exit, out, stderr)
+		}
+		if strings.TrimSpace(out) != "" {
+			t.Fatalf("tree-wide run produced findings:\n%s", out)
+		}
+	})
+
+	t.Run("debt text output", func(t *testing.T) {
+		// faultnet carries the tree's two reasoned conndeadline
+		// suppressions (the proxy pumps must tolerate injected stalls).
+		out, _, exit := run("-debt", "./internal/faultnet")
+		if exit != 0 {
+			t.Fatalf("-debt exit = %d, want 0\n%s", exit, out)
+		}
+		lines := strings.Split(strings.TrimSpace(out), "\n")
+		if lines[0] != "lfcheck debt: 2 directive(s) (conndeadline=2)" {
+			t.Fatalf("unexpected debt summary: %q", lines[0])
+		}
+		if len(lines) != 3 {
+			t.Fatalf("want summary + 2 directive lines, got:\n%s", out)
+		}
+		for _, l := range lines[1:] {
+			if !strings.Contains(l, "faultnet.go:") || !strings.Contains(l, "conndeadline [") || !strings.Contains(l, "d]: ") {
+				t.Fatalf("directive line missing position, check, or age: %q", l)
+			}
+		}
+	})
+
+	t.Run("debt json output", func(t *testing.T) {
+		out, _, exit := run("-debt", "-json", "./internal/faultnet")
+		if exit != 0 {
+			t.Fatalf("-debt -json exit = %d, want 0\n%s", exit, out)
+		}
+		var dirs []struct {
+			File      string `json:"file"`
+			Line      int    `json:"line"`
+			Check     string `json:"check"`
+			Reason    string `json:"reason"`
+			AgeDays   int    `json:"age_days"`
+			Malformed bool   `json:"malformed"`
+		}
+		if err := json.Unmarshal([]byte(out), &dirs); err != nil {
+			t.Fatalf("output is not a JSON directive array: %v\n%s", err, out)
+		}
+		if len(dirs) != 2 {
+			t.Fatalf("want 2 directives, got %d: %+v", len(dirs), dirs)
+		}
+		for _, d := range dirs {
+			if !strings.Contains(d.File, "faultnet.go") || d.Line == 0 || d.Check != "conndeadline" || d.Reason == "" || d.Malformed {
+				t.Fatalf("unexpected directive: %+v", d)
+			}
+		}
+	})
+
+	t.Run("debt and sarif are exclusive", func(t *testing.T) {
+		if _, _, exit := run("-debt", "-sarif", "./internal/faultnet"); exit != 2 {
+			t.Fatalf("exit = %d, want 2", exit)
+		}
+	})
+
+	t.Run("cache warm run skips packages", func(t *testing.T) {
+		cacheDir := filepath.Join(t.TempDir(), "cache")
+		_, stderr, exit := run("-cache", cacheDir, "./internal/primitive")
+		if exit != 0 {
+			t.Fatalf("cold cached run exit = %d, want 0\n%s", exit, stderr)
+		}
+		if !strings.Contains(stderr, "0 cached, 1 analyzed") {
+			t.Fatalf("cold run summary = %q, want 0 cached, 1 analyzed", stderr)
+		}
+		_, stderr, exit = run("-cache", cacheDir, "./internal/primitive")
+		if exit != 0 {
+			t.Fatalf("warm cached run exit = %d, want 0\n%s", exit, stderr)
+		}
+		if !strings.Contains(stderr, "1 cached, 0 analyzed") {
+			t.Fatalf("warm run summary = %q, want 1 cached, 0 analyzed", stderr)
+		}
+	})
+}
+
+// TestPlantAndDetect proves the v3 lifecycle analyzers stay live against
+// the code shapes they exist for: the serving tree is clean, so this test
+// plants one violation per analyzer — a leaked handler goroutine, a
+// deadline-less connection read, an unpaced CAS retry, and a
+// post-publication field write — in a temp module and requires each to be
+// detected through the real binary.
+func TestPlantAndDetect(t *testing.T) {
+	_, runIn := build(t)
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module planted\n\ngo 1.22\n")
+	write("planted.go", `package planted
+
+import (
+	"net"
+	"sync/atomic"
+)
+
+type session struct {
+	n    int
+	next atomic.Pointer[session]
+}
+
+var head atomic.Pointer[session]
+
+// serve leaks its metrics goroutine: no termination path.
+func serve() {
+	go func() {
+		for {
+		}
+	}()
+}
+
+// handle reads from the connection with no deadline armed.
+func handle(c net.Conn, buf []byte) (int, error) {
+	return c.Read(buf)
+}
+
+// register retries the head swing at full speed.
+func register(s *session) {
+	for {
+		old := head.Load()
+		s.next.Store(old)
+		if head.CompareAndSwap(old, s) {
+			return
+		}
+	}
+}
+
+// expose mutates the session after it is globally visible.
+func expose(n int) {
+	s := &session{}
+	head.Store(s)
+	s.n = n
+}
+`)
+
+	out, stderr, exit := runIn(dir, "-json", "./...")
+	if exit != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", exit, out, stderr)
+	}
+	var diags []struct {
+		Analyzer string `json:"analyzer"`
+		Category string `json:"category"`
+	}
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("output is not a JSON diagnostics array: %v\n%s", err, out)
+	}
+	found := make(map[string]bool)
+	for _, d := range diags {
+		found[d.Analyzer+"/"+d.Category] = true
+	}
+	for _, want := range []string{
+		"goroleak/goroutine-leak",
+		"conndeadline/no-deadline",
+		"boundedretry/unbounded",
+		"publish/unsafe-publish",
+	} {
+		if !found[want] {
+			t.Errorf("planted violation for %s not detected; diagnostics: %+v", want, diags)
+		}
+	}
 }

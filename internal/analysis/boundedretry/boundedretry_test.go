@@ -1,0 +1,12 @@
+package boundedretry_test
+
+import (
+	"testing"
+
+	"valois/internal/analysis/analysistest"
+	"valois/internal/analysis/boundedretry"
+)
+
+func TestBoundedRetry(t *testing.T) {
+	analysistest.Run(t, "testdata", boundedretry.Analyzer, "a")
+}

@@ -1,0 +1,181 @@
+// Package a exercises the boundedretry analyzer: infinite retry loops
+// with neither backoff nor bound are flagged.
+package a
+
+import (
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Backoff mimics primitive.Backoff by name and shape: a Wait method on a
+// type named Backoff is the sanctioned pacer.
+type Backoff struct{ n int }
+
+func (b *Backoff) Wait() { b.n++ }
+
+func try() error         { return nil }
+func dial() (int, error) { return 0, nil }
+func found() bool        { return true }
+func process(int)        {}
+
+func hotRetry() {
+	for { // want `retry loop has neither a backoff nor a bound`
+		if try() == nil {
+			break
+		}
+	}
+}
+
+func hotErrRetry() (int, error) {
+	for { // want `retry loop has neither a backoff nor a bound`
+		v, err := dial()
+		if err == nil {
+			return v, nil
+		}
+	}
+}
+
+func hotContinueRetry() int {
+	for { // want `retry loop has neither a backoff nor a bound`
+		v, err := dial()
+		if err != nil {
+			continue
+		}
+		return v
+	}
+}
+
+func hotCAS(p *atomic.Int64) {
+	for { // want `CAS retry loop has neither a backoff nor a bound`
+		old := p.Load()
+		if p.CompareAndSwap(old, old+1) {
+			break
+		}
+	}
+}
+
+func hotCASFunc(p *int64) {
+	for { // want `CAS retry loop has neither a backoff nor a bound`
+		old := atomic.LoadInt64(p)
+		if atomic.CompareAndSwapInt64(p, old, old+1) {
+			break
+		}
+	}
+}
+
+func pacedByBackoff(p *atomic.Int64) {
+	var b Backoff
+	for {
+		old := p.Load()
+		if p.CompareAndSwap(old, old+1) {
+			break
+		}
+		b.Wait()
+	}
+}
+
+func pacedByGosched() {
+	for {
+		if try() == nil {
+			break
+		}
+		runtime.Gosched()
+	}
+}
+
+func pacedBySleep() {
+	for {
+		if try() == nil {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func bounded() {
+	for i := 0; i < 20; i++ {
+		if try() == nil {
+			break
+		}
+	}
+}
+
+// consumeLoop exits when the operation fails: nothing is retried, the
+// loop is paced by each successful read.
+func consumeLoop() error {
+	for {
+		v, err := dial()
+		if err != nil {
+			return err
+		}
+		process(v)
+	}
+}
+
+// traversal exits on a structural condition, not an error: walks retry
+// nothing.
+func traversal() {
+	for {
+		if found() {
+			break
+		}
+		process(0)
+	}
+}
+
+// acceptLoop is paced by Accept blocking for the next connection.
+func acceptLoop(ln net.Listener) {
+	for {
+		c, err := ln.Accept()
+		if err == nil {
+			_ = c
+			continue
+		}
+		return
+	}
+}
+
+// readLoop is paced by the connection read.
+func readLoop(conn net.Conn, buf []byte) {
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			continue
+		}
+		process(n)
+	}
+}
+
+// eventLoop is paced by the channel receive.
+func eventLoop(ch chan int, done chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		case v := <-ch:
+			process(v)
+		}
+	}
+}
+
+// lockLoop is paced by lock acquisition.
+func lockLoop(mu *sync.Mutex) {
+	for {
+		mu.Lock()
+		err := try()
+		mu.Unlock()
+		if err == nil {
+			return
+		}
+	}
+}
+
+// workerLoop has no exit at all: not a retry loop (goroleak's domain).
+func workerLoop() {
+	for {
+		process(1)
+	}
+}

@@ -1,0 +1,12 @@
+package conndeadline_test
+
+import (
+	"testing"
+
+	"valois/internal/analysis/analysistest"
+	"valois/internal/analysis/conndeadline"
+)
+
+func TestConnDeadline(t *testing.T) {
+	analysistest.Run(t, "testdata", conndeadline.Analyzer, "a")
+}

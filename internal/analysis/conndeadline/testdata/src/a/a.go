@@ -1,0 +1,91 @@
+// Package a exercises the conndeadline analyzer: blocking connection I/O
+// with no deadline armed earlier in the function is flagged.
+package a
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net"
+	"time"
+)
+
+func naked(conn net.Conn, buf []byte) {
+	conn.Read(buf)  // want `blocking Read on connection with no deadline`
+	conn.Write(buf) // want `blocking Write on connection with no deadline`
+}
+
+func nakedBuffered(conn net.Conn) {
+	br := bufio.NewReader(conn)
+	br.ReadString('\n') // want `blocking ReadString on connection-backed bufio.Reader with no deadline`
+}
+
+func nakedCopy(dst io.Writer, conn net.Conn) {
+	io.Copy(dst, conn) // want `blocking io.Copy over a connection with no deadline`
+}
+
+func nakedFlush(conn net.Conn, buf []byte) {
+	bw := bufio.NewWriter(conn)
+	bw.Write(buf) // want `blocking Write on connection-backed bufio.Writer with no deadline`
+	bw.Flush()    // want `blocking Flush on connection-backed bufio.Writer with no deadline`
+}
+
+func deadlined(conn net.Conn, buf []byte) {
+	conn.SetReadDeadline(time.Now().Add(time.Second))
+	conn.Read(buf)
+	conn.SetWriteDeadline(time.Now().Add(time.Second))
+	conn.Write(buf)
+}
+
+func deadlinedBuffered(conn net.Conn) {
+	conn.SetDeadline(time.Now().Add(time.Second))
+	br := bufio.NewReader(conn)
+	br.ReadString('\n')
+}
+
+func deadlinedCopy(dst io.Writer, conn net.Conn) {
+	conn.SetReadDeadline(time.Now().Add(time.Second))
+	io.Copy(dst, conn)
+}
+
+// deadlineInLiteral: the literal shares the enclosing function's
+// discipline, and the arm precedes the copy in source order.
+func deadlinedLiteral(dst io.Writer, conn net.Conn) {
+	conn.SetDeadline(time.Now().Add(time.Second))
+	go func() {
+		io.Copy(dst, conn)
+	}()
+}
+
+func nakedLiteral(dst io.Writer, conn net.Conn) {
+	go func() {
+		io.Copy(dst, conn) // want `blocking io.Copy over a connection with no deadline`
+	}()
+}
+
+// notAConn: Read on something without SetDeadline is not connection I/O.
+func notAConn(buf *bytes.Buffer, p []byte) {
+	buf.Read(p)
+}
+
+// plainCopy: io.Copy between non-connections is fine.
+func plainCopy(dst io.Writer, src io.Reader) {
+	io.Copy(dst, src)
+}
+
+// plainBuffered: a bufio.Reader over a non-connection is fine.
+func plainBuffered(src io.Reader) {
+	br := bufio.NewReader(src)
+	br.ReadString('\n')
+}
+
+// Wrapper forwards Read to an inner connection. Its receiver is
+// deadline-capable (the embedded net.Conn provides SetDeadline), so its
+// methods are skipped: the wrapper's caller arms the deadlines.
+type Wrapper struct {
+	net.Conn
+}
+
+func (w *Wrapper) Read(p []byte) (int, error) {
+	return w.Conn.Read(p)
+}

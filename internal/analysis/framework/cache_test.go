@@ -1,0 +1,196 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/ast"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// writeCacheModule lays down a tiny two-package module (b imports a) in a
+// temp dir and returns its root. The cache tests drive the full Driver —
+// go list, type-checking, facts, and the result cache — against it.
+func writeCacheModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	writeFixture(t, dir, "go.mod", "module cachetest\n\ngo 1.22\n")
+	writeFixture(t, dir, "a/a.go", `package a
+
+func Plus(a, b int) int { return a + b }
+`)
+	writeFixture(t, dir, "b/b.go", `package b
+
+import "cachetest/a"
+
+func Use(x int) int { return a.Plus(x, 1) }
+`)
+	return dir
+}
+
+// cacheProbe is a toy interprocedural analyzer: it exports an arity fact
+// per declared function and reports both declarations and calls whose
+// callee fact it can import. The call diagnostics only appear when facts
+// flow across packages — live or replayed from the cache.
+func cacheProbe(version string) *Analyzer {
+	return &Analyzer{
+		Name:      "cacheprobe",
+		Doc:       "report declarations and fact-resolved calls (cache probe)",
+		Version:   version,
+		FactTypes: []Fact{(*countFact)(nil)},
+		Run: func(pass *Pass) (any, error) {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.FuncDecl:
+						if fn := funcObj(pass, n.Name); fn != nil {
+							pass.ExportObjectFact(fn, &countFact{N: n.Type.Params.NumFields()})
+							pass.Reportf(n.Pos(), "func %s declared", fn.Name())
+						}
+					case *ast.CallExpr:
+						if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+							if fn := funcObj(pass, sel.Sel); fn != nil {
+								var got countFact
+								if pass.ImportObjectFact(fn, &got) {
+									pass.Reportf(n.Pos(), "call to %s (%d params)", fn.Name(), got.N)
+								}
+							}
+						}
+					}
+					return true
+				})
+			}
+			return nil, nil
+		},
+	}
+}
+
+// runCached performs one whole-module driver run with a fresh loader, as a
+// new process would.
+func runCached(t *testing.T, moduleDir, cacheDir, version string) ([]RunDiagnostic, RunStats) {
+	t.Helper()
+	d := &Driver{
+		Loader:    NewLoader(moduleDir),
+		Analyzers: []*Analyzer{cacheProbe(version)},
+		CacheDir:  cacheDir,
+		Jobs:      2,
+	}
+	diags, stats, err := d.Run("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags, stats
+}
+
+// TestCacheColdRunsByteIdentical runs the driver twice against separate,
+// empty cache directories and requires byte-identical diagnostics: the
+// cache must not perturb output, and the parallel schedule must not leak
+// into ordering.
+func TestCacheColdRunsByteIdentical(t *testing.T) {
+	dir := writeCacheModule(t)
+	d1, s1 := runCached(t, dir, filepath.Join(dir, "cache1"), "v1")
+	d2, s2 := runCached(t, dir, filepath.Join(dir, "cache2"), "v1")
+	for _, s := range []RunStats{s1, s2} {
+		if s.Packages != 2 || s.Analyzed != 2 || s.CacheHits != 0 {
+			t.Fatalf("cold run stats = %+v, want 2 packages all analyzed", s)
+		}
+	}
+	if len(d1) == 0 {
+		t.Fatal("probe reported nothing")
+	}
+	b1, err := json.Marshal(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("cold runs differ:\n%s\n%s", b1, b2)
+	}
+}
+
+// TestCacheWarmRunSkipsUnchanged reruns against a populated cache and
+// requires every package to be restored (Analyzed == 0) with diagnostics
+// identical to the cold run's.
+func TestCacheWarmRunSkipsUnchanged(t *testing.T) {
+	dir := writeCacheModule(t)
+	cache := filepath.Join(dir, "cache")
+	cold, _ := runCached(t, dir, cache, "v1")
+	warm, stats := runCached(t, dir, cache, "v1")
+	if stats.CacheHits != stats.Packages || stats.Analyzed != 0 {
+		t.Fatalf("warm run stats = %+v, want all %d packages cached", stats, stats.Packages)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("warm diagnostics differ from cold:\ncold: %v\nwarm: %v", cold, warm)
+	}
+}
+
+// TestCacheInvalidatedBySourceEdit edits first the leaf package (only it
+// re-runs, with the dependency's facts replayed from cache) and then the
+// dependency (whose importer's content hash covers it, so both re-run).
+func TestCacheInvalidatedBySourceEdit(t *testing.T) {
+	dir := writeCacheModule(t)
+	cache := filepath.Join(dir, "cache")
+	runCached(t, dir, cache, "v1")
+
+	// Edit b only: a must hit, b must re-analyze — and b's re-analysis
+	// must still see a's facts (replayed from a's cached entry), proving
+	// the cache restores facts and not just diagnostics.
+	writeFixture(t, dir, "b/b.go", `package b
+
+import "cachetest/a"
+
+func Use(x int) int { return a.Plus(x, 1) }
+
+func Twice(x int) int { return a.Plus(x, x) }
+`)
+	diags, stats := runCached(t, dir, cache, "v1")
+	if stats.CacheHits != 1 || stats.Analyzed != 1 {
+		t.Fatalf("after leaf edit: stats = %+v, want 1 hit + 1 analyzed", stats)
+	}
+	calls := 0
+	for _, d := range diags {
+		if strings.Contains(d.Message, "call to Plus (2 params)") {
+			calls++
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("want 2 fact-resolved call diagnostics after leaf edit, got %d in %v", calls, diags)
+	}
+
+	// Edit a: every importer's hash covers its in-module deps, so both
+	// packages are stale.
+	writeFixture(t, dir, "a/a.go", `package a
+
+func Plus(a, b int) int { return a + b }
+
+func Minus(a, b int) int { return a - b }
+`)
+	if _, stats = runCached(t, dir, cache, "v1"); stats.Analyzed != 2 || stats.CacheHits != 0 {
+		t.Fatalf("after dep edit: stats = %+v, want both re-analyzed", stats)
+	}
+}
+
+// TestCacheInvalidatedByVersionBump bumps the analyzer's Version with
+// unchanged sources: every entry must miss, and the bumped suite must then
+// warm up independently of the old one.
+func TestCacheInvalidatedByVersionBump(t *testing.T) {
+	dir := writeCacheModule(t)
+	cache := filepath.Join(dir, "cache")
+	runCached(t, dir, cache, "v1")
+
+	if _, stats := runCached(t, dir, cache, "v2"); stats.Analyzed != 2 || stats.CacheHits != 0 {
+		t.Fatalf("after version bump: stats = %+v, want both re-analyzed", stats)
+	}
+	if _, stats := runCached(t, dir, cache, "v2"); stats.CacheHits != 2 {
+		t.Fatalf("second v2 run: stats = %+v, want both cached", stats)
+	}
+	// The old version's entries are still intact alongside.
+	if _, stats := runCached(t, dir, cache, "v1"); stats.CacheHits != 2 {
+		t.Fatalf("back at v1: stats = %+v, want both cached", stats)
+	}
+}

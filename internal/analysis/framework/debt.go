@@ -1,0 +1,137 @@
+package framework
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Directive is one //lfcheck:allow suppression found in the tree: a unit of
+// accepted analyzer debt. The debt report inventories them so suppressions
+// are revisited instead of accumulating silently.
+type Directive struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Check  string `json:"check"`
+	Reason string `json:"reason"`
+	// AgeDays is the age of the containing file's last modification — a
+	// proxy for how long the suppression has gone unrevisited.
+	AgeDays   int  `json:"age_days"`
+	Malformed bool `json:"malformed,omitempty"`
+}
+
+// CollectDebt scans the packages matching the patterns for //lfcheck:allow
+// directives. It is a parse-only pass (comments need no type information),
+// so it stays fast even on trees that do not type-check. Testdata packages
+// are skipped under wildcard patterns, exactly like an analysis run.
+func CollectDebt(ld *Loader, patterns []string) ([]Directive, error) {
+	if err := ld.list(patterns); err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	dirs := []Directive{}
+	for _, m := range ld.topoOrder(false) {
+		if skipTestdataDir(ld, m.Dir, m.ImportPath, patterns) {
+			continue
+		}
+		for _, file := range absFiles(m) {
+			f, err := parser.ParseFile(fset, file, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if f == nil {
+				return nil, fmt.Errorf("parsing %s: %v", file, err)
+			}
+			age := 0
+			if fi, err := os.Stat(file); err == nil {
+				age = int(time.Since(fi.ModTime()).Hours() / 24)
+			}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+					if !ok {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					d := Directive{
+						File:    relToCwd(pos.Filename),
+						Line:    pos.Line,
+						AgeDays: age,
+					}
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						d.Malformed = true
+						if len(fields) == 1 {
+							d.Check = fields[0]
+						}
+					} else {
+						d.Check = fields[0]
+						d.Reason = strings.Join(fields[1:], " ")
+					}
+					dirs = append(dirs, d)
+				}
+			}
+		}
+	}
+	sort.Slice(dirs, func(i, j int) bool {
+		if dirs[i].File != dirs[j].File {
+			return dirs[i].File < dirs[j].File
+		}
+		return dirs[i].Line < dirs[j].Line
+	})
+	return dirs, nil
+}
+
+// WriteDebtText renders the debt inventory for humans: a summary line, then
+// one line per directive with its position, check, age, and reason.
+func WriteDebtText(w io.Writer, dirs []Directive) error {
+	byCheck := make(map[string]int)
+	for _, d := range dirs {
+		byCheck[d.Check]++
+	}
+	checks := make([]string, 0, len(byCheck))
+	for c := range byCheck {
+		checks = append(checks, c)
+	}
+	sort.Strings(checks)
+	var parts []string
+	for _, c := range checks {
+		name := c
+		if name == "" {
+			name = "(malformed)"
+		}
+		parts = append(parts, fmt.Sprintf("%s=%d", name, byCheck[c]))
+	}
+	summary := ""
+	if len(parts) > 0 {
+		summary = " (" + strings.Join(parts, ", ") + ")"
+	}
+	if _, err := fmt.Fprintf(w, "lfcheck debt: %d directive(s)%s\n", len(dirs), summary); err != nil {
+		return err
+	}
+	for _, d := range dirs {
+		status := ""
+		if d.Malformed {
+			status = " MALFORMED"
+		}
+		if _, err := fmt.Fprintf(w, "%s:%d: %s [%dd]%s: %s\n",
+			d.File, d.Line, d.Check, d.AgeDays, status, d.Reason); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteDebtJSON emits the debt inventory as an indented JSON array (an
+// empty inventory prints "[]", never null).
+func WriteDebtJSON(w io.Writer, dirs []Directive) error {
+	if dirs == nil {
+		dirs = []Directive{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(dirs)
+}

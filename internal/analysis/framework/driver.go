@@ -1,0 +1,264 @@
+package framework
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Driver runs a set of analyzers over packages with the scheduling and
+// caching upgrades the whole-tree CI loop needs:
+//
+//   - packages are analyzed in parallel, scheduled along the in-module
+//     import graph so a package runs only after its dependencies (whose
+//     facts it imports) have finished — a topological wave schedule with
+//     at most Jobs packages in flight;
+//   - with CacheDir set, each package's result (diagnostics plus exported
+//     facts) is memoized under a content hash of its sources, its
+//     in-module dependency closure's sources, and the analyzer suite's
+//     names and versions, so a warm run skips every unchanged package;
+//   - diagnostics are merged and sorted on every key (file, line, column,
+//     analyzer, category, message), making the output byte-stable across
+//     runs regardless of scheduling order or cache state.
+//
+// The zero value is not usable; populate Loader and Analyzers.
+type Driver struct {
+	Loader    *Loader
+	Analyzers []*Analyzer
+
+	// CacheDir enables the incremental result cache when non-empty. The
+	// directory is created on demand; entries are content-addressed, so
+	// concurrent runs sharing one directory are safe.
+	CacheDir string
+
+	// Jobs bounds how many packages are analyzed concurrently; <= 0
+	// means GOMAXPROCS.
+	Jobs int
+}
+
+// RunStats reports how much work a driver run performed, for the CLI's
+// cache summary and the cache-correctness tests.
+type RunStats struct {
+	// Packages is the number of packages scheduled for analysis (after
+	// the wildcard testdata skip).
+	Packages int
+	// Analyzed counts packages whose analyzers actually ran.
+	Analyzed int
+	// CacheHits counts packages restored from the warm cache instead of
+	// being analyzed; Analyzed + CacheHits == Packages.
+	CacheHits int
+}
+
+// pkgResult accumulates one package's outcome: its reportable diagnostics
+// and the facts its passes exported.
+type pkgResult struct {
+	diags []RunDiagnostic
+	facts []exportedFact
+}
+
+// Run loads the patterns and applies the driver's analyzers to every
+// matched package. See Run (package function) for the loading, testdata,
+// and suppression semantics, which are identical; this entry point adds
+// parallelism, the incremental cache, and work counters.
+func (d *Driver) Run(patterns ...string) ([]RunDiagnostic, RunStats, error) {
+	var stats RunStats
+	ld := d.Loader
+
+	needFacts := false
+	for _, a := range d.Analyzers {
+		if len(a.FactTypes) > 0 {
+			needFacts = true
+		}
+	}
+	var loaded []*Package
+	var err error
+	if needFacts {
+		loaded, err = ld.LoadClosure(patterns...)
+	} else {
+		loaded, err = ld.Load(patterns...)
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+
+	// The schedulable set, in the loader's deterministic topological
+	// order (dependencies first).
+	var pkgs []*Package
+	for _, pkg := range loaded {
+		if skipTestdata(ld, pkg, patterns) {
+			continue
+		}
+		if len(pkg.Errors) > 0 {
+			return nil, stats, fmt.Errorf("package %s did not type-check: %v", pkg.PkgPath, pkg.Errors[0])
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	stats.Packages = len(pkgs)
+
+	var cache *resultCache
+	if d.CacheDir != "" {
+		cache, err = newResultCache(d.CacheDir, ld, d.Analyzers)
+		if err != nil {
+			return nil, stats, err
+		}
+	}
+
+	facts := NewFactStore()
+	scheduled := make(map[string]*Package, len(pkgs))
+	done := make(map[string]chan struct{}, len(pkgs))
+	for _, pkg := range pkgs {
+		scheduled[pkg.PkgPath] = pkg
+		done[pkg.PkgPath] = make(chan struct{})
+	}
+
+	jobs := d.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, jobs)
+
+	var (
+		mu       sync.Mutex
+		results  = make(map[string]*pkgResult, len(pkgs))
+		analyzed atomic.Int64
+		hits     atomic.Int64
+		failed   atomic.Bool
+		firstErr error
+		errOnce  sync.Once
+	)
+	fail := func(err error) {
+		failed.Store(true)
+		errOnce.Do(func() { firstErr = err })
+	}
+
+	var wg sync.WaitGroup
+	for _, pkg := range pkgs {
+		wg.Add(1)
+		go func(pkg *Package) {
+			defer wg.Done()
+			defer close(done[pkg.PkgPath])
+			// Facts flow along import edges: wait for every scheduled
+			// in-module dependency.
+			for _, dep := range pkg.Imports {
+				if ch, ok := done[dep]; ok {
+					<-ch
+				}
+			}
+			if failed.Load() {
+				return
+			}
+			sem <- struct{}{}
+			defer func() { <-sem }()
+
+			if cache != nil {
+				if res, ok := cache.load(pkg, facts); ok {
+					hits.Add(1)
+					mu.Lock()
+					results[pkg.PkgPath] = res
+					mu.Unlock()
+					return
+				}
+			}
+			res, err := d.analyzePackage(pkg, facts)
+			if err != nil {
+				fail(err)
+				return
+			}
+			analyzed.Add(1)
+			if cache != nil {
+				cache.store(pkg, res)
+			}
+			mu.Lock()
+			results[pkg.PkgPath] = res
+			mu.Unlock()
+		}(pkg)
+	}
+	wg.Wait()
+	if failed.Load() {
+		return nil, stats, firstErr
+	}
+	stats.Analyzed = int(analyzed.Load())
+	stats.CacheHits = int(hits.Load())
+
+	var diags []RunDiagnostic
+	for _, pkg := range pkgs {
+		if res := results[pkg.PkgPath]; res != nil {
+			diags = append(diags, res.diags...)
+		}
+	}
+	sortDiagnostics(diags)
+	return diags, stats, nil
+}
+
+// analyzePackage runs every applicable analyzer over one package,
+// returning its diagnostics and exported facts. It is called concurrently
+// for independent packages; everything it touches is either package-local
+// or (the fact store) internally synchronized.
+func (d *Driver) analyzePackage(pkg *Package, facts *FactStore) (*pkgResult, error) {
+	res := &pkgResult{}
+	var allows map[allowKey]bool
+	if !pkg.DepOnly {
+		allows = collectAllows(pkg, &res.diags)
+	}
+	for _, a := range d.Analyzers {
+		if pkg.DepOnly && len(a.FactTypes) == 0 {
+			continue // dependency passes exist only to compute facts
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Syntax,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			Facts:     facts,
+			exportHook: func(objKey string, fact Fact) {
+				res.facts = append(res.facts, exportedFact{objKey: objKey, fact: fact})
+			},
+		}
+		pass.Report = func(di Diagnostic) {
+			if pkg.DepOnly {
+				return
+			}
+			pos := pkg.Fset.Position(di.Pos)
+			if allowed(allows, pos, a.Name) {
+				return
+			}
+			res.diags = append(res.diags, RunDiagnostic{
+				Position: pos,
+				Message:  di.Message,
+				Analyzer: a.Name,
+				Category: di.Category,
+			})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.PkgPath, err)
+		}
+	}
+	return res, nil
+}
+
+// sortDiagnostics orders diags on every key so the driver's output is
+// byte-stable: position first, then analyzer, category, and message.
+func sortDiagnostics(diags []RunDiagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := diags[i].Position, diags[j].Position
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		if diags[i].Category != diags[j].Category {
+			return diags[i].Category < diags[j].Category
+		}
+		return diags[i].Message < diags[j].Message
+	})
+}

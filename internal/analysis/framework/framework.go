@@ -35,6 +35,12 @@ type Analyzer struct {
 	// to its importers.
 	FactTypes []Fact
 
+	// Version participates in the incremental cache key: bump it when the
+	// analyzer's semantics change, so results cached under the old
+	// behavior are invalidated even though no package source changed.
+	// The empty string is a valid (initial) version.
+	Version string
+
 	// Run applies the analyzer to a package.
 	Run func(*Pass) (any, error)
 }
@@ -56,6 +62,10 @@ type Pass struct {
 
 	// Report delivers a diagnostic to the driver.
 	Report func(Diagnostic)
+
+	// exportHook, when set by the driver, observes every exported fact so
+	// the incremental cache can record which facts this package produced.
+	exportHook func(objKey string, fact Fact)
 }
 
 // Reportf reports a formatted diagnostic at pos with no category.

@@ -6,7 +6,6 @@ import (
 	"go/token"
 	"os"
 	"path/filepath"
-	"sort"
 	"strings"
 )
 
@@ -21,11 +20,19 @@ import (
 //	-list        print the available analyzers and exit
 //	-json        print diagnostics as a JSON array instead of text
 //	-sarif       print diagnostics as a SARIF 2.1.0 log instead of text
+//	-cache DIR   memoize per-package results under DIR; a warm run skips
+//	             unchanged packages and prints a work summary to stderr
+//	-jobs N      analyze at most N packages concurrently (0: GOMAXPROCS)
+//	-debt        inventory //lfcheck:allow directives (text, or JSON with
+//	             -json) instead of running analyzers; always exits 0
 func Main(analyzers ...*Analyzer) {
 	checks := flag.String("checks", "", "comma-separated list of analyzers to run (default: all)")
 	list := flag.Bool("list", false, "list available analyzers and exit")
 	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
 	sarifOut := flag.Bool("sarif", false, "emit diagnostics as SARIF 2.1.0")
+	cacheDir := flag.String("cache", "", "directory for the incremental result cache (default: no cache)")
+	jobs := flag.Int("jobs", 0, "maximum number of concurrently analyzed packages (0: GOMAXPROCS)")
+	debt := flag.Bool("debt", false, "report the //lfcheck:allow suppression inventory instead of analyzing")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: %s [flags] [packages]\n\nAnalyzers:\n", os.Args[0])
 		for _, a := range analyzers {
@@ -68,10 +75,41 @@ func Main(analyzers ...*Analyzer) {
 		patterns = []string{"./..."}
 	}
 
-	diags, err := Run(NewLoader(""), selected, patterns)
+	if *debt {
+		if *sarifOut {
+			fmt.Fprintln(os.Stderr, "lfcheck: -debt and -sarif are mutually exclusive")
+			os.Exit(2)
+		}
+		dirs, err := CollectDebt(NewLoader(""), patterns)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lfcheck: %v\n", err)
+			os.Exit(2)
+		}
+		write := WriteDebtText
+		if *jsonOut {
+			write = WriteDebtJSON
+		}
+		if err := write(os.Stdout, dirs); err != nil {
+			fmt.Fprintf(os.Stderr, "lfcheck: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	driver := &Driver{
+		Loader:    NewLoader(""),
+		Analyzers: selected,
+		CacheDir:  *cacheDir,
+		Jobs:      *jobs,
+	}
+	diags, stats, err := driver.Run(patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lfcheck: %v\n", err)
 		os.Exit(2)
+	}
+	if *cacheDir != "" {
+		fmt.Fprintf(os.Stderr, "lfcheck: %d packages: %d cached, %d analyzed\n",
+			stats.Packages, stats.CacheHits, stats.Analyzed)
 	}
 	switch {
 	case *jsonOut:
@@ -130,82 +168,9 @@ func (d RunDiagnostic) String() string {
 // The reason is mandatory; a directive missing its check name or reason is
 // itself reported, as analyzer "lfcheck" category "directive".
 func Run(ld *Loader, analyzers []*Analyzer, patterns []string) ([]RunDiagnostic, error) {
-	needFacts := false
-	for _, a := range analyzers {
-		if len(a.FactTypes) > 0 {
-			needFacts = true
-		}
-	}
-	var pkgs []*Package
-	var err error
-	if needFacts {
-		pkgs, err = ld.LoadClosure(patterns...)
-	} else {
-		pkgs, err = ld.Load(patterns...)
-	}
-	if err != nil {
-		return nil, err
-	}
-
-	facts := NewFactStore()
-	var diags []RunDiagnostic
-	for _, pkg := range pkgs {
-		if skipTestdata(ld, pkg, patterns) {
-			continue
-		}
-		if len(pkg.Errors) > 0 {
-			return nil, fmt.Errorf("package %s did not type-check: %v", pkg.PkgPath, pkg.Errors[0])
-		}
-		var allows map[allowKey]bool
-		if !pkg.DepOnly {
-			allows = collectAllows(pkg, &diags)
-		}
-		for _, a := range analyzers {
-			if pkg.DepOnly && len(a.FactTypes) == 0 {
-				continue // dependency passes exist only to compute facts
-			}
-			pass := &Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Syntax,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.TypesInfo,
-				Facts:     facts,
-			}
-			pass.Report = func(d Diagnostic) {
-				if pkg.DepOnly {
-					return
-				}
-				pos := pkg.Fset.Position(d.Pos)
-				if allowed(allows, pos, a.Name) {
-					return
-				}
-				diags = append(diags, RunDiagnostic{
-					Position: pos,
-					Message:  d.Message,
-					Analyzer: a.Name,
-					Category: d.Category,
-				})
-			}
-			if _, err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.PkgPath, err)
-			}
-		}
-	}
-	sort.Slice(diags, func(i, j int) bool {
-		pi, pj := diags[i].Position, diags[j].Position
-		if pi.Filename != pj.Filename {
-			return pi.Filename < pj.Filename
-		}
-		if pi.Line != pj.Line {
-			return pi.Line < pj.Line
-		}
-		if pi.Column != pj.Column {
-			return pi.Column < pj.Column
-		}
-		return diags[i].Analyzer < diags[j].Analyzer
-	})
-	return diags, nil
+	d := &Driver{Loader: ld, Analyzers: analyzers}
+	diags, _, err := d.Run(patterns...)
+	return diags, err
 }
 
 // allowKey identifies one suppression: this check is allowed on this line.
@@ -264,7 +229,11 @@ func collectAllows(pkg *Package, diags *[]RunDiagnostic) map[allowKey]bool {
 // skipTestdata reports whether pkg lives under a testdata directory and was
 // matched only by a wildcard pattern.
 func skipTestdata(ld *Loader, pkg *Package, patterns []string) bool {
-	if !underTestdata(pkg.Dir) {
+	return skipTestdataDir(ld, pkg.Dir, pkg.PkgPath, patterns)
+}
+
+func skipTestdataDir(ld *Loader, dir, pkgPath string, patterns []string) bool {
+	if !underTestdata(dir) {
 		return false
 	}
 	base := ld.Dir
@@ -275,10 +244,10 @@ func skipTestdata(ld *Loader, pkg *Package, patterns []string) bool {
 		if strings.Contains(p, "...") {
 			continue
 		}
-		if p == pkg.PkgPath {
+		if p == pkgPath {
 			return false
 		}
-		if abs, err := filepath.Abs(filepath.Join(base, p)); err == nil && abs == filepath.Clean(pkg.Dir) {
+		if abs, err := filepath.Abs(filepath.Join(base, p)); err == nil && abs == filepath.Clean(dir) {
 			return false
 		}
 	}

@@ -1,0 +1,104 @@
+package goroleak_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"valois/internal/analysis/analysistest"
+	"valois/internal/analysis/framework"
+	"valois/internal/analysis/goroleak"
+)
+
+func TestGoroLeak(t *testing.T) {
+	analysistest.Run(t, "testdata", goroleak.Analyzer, "a")
+}
+
+// TestCrossPackageFact checks the interprocedural half: a goroutine
+// spawning another package's never-returning function is flagged through
+// the NoReturn fact exported while analyzing the dependency.
+func TestCrossPackageFact(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) string {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	depPath := write("dep/dep.go", `package dep
+
+func tick() {}
+
+// Serve spins forever.
+func Serve() {
+	for {
+		tick()
+	}
+}
+
+// Poll returns when asked.
+func Poll(done chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		default:
+			tick()
+		}
+	}
+}
+`)
+	rootPath := write("root/root.go", `package root
+
+import "dep"
+
+func Start(done chan struct{}) {
+	go dep.Serve()
+	go dep.Poll(done)
+}
+`)
+
+	ld := framework.NewLoader("")
+	facts := framework.NewFactStore()
+	var diags []framework.Diagnostic
+	for _, fx := range []struct {
+		pkg  string
+		path string
+	}{{"dep", depPath}, {"root", rootPath}} {
+		loaded, err := ld.LoadFiles(fx.pkg, fx.path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", fx.pkg, err)
+		}
+		if len(loaded.Errors) > 0 {
+			t.Fatalf("fixture %s: %v", fx.pkg, loaded.Errors)
+		}
+		pass := &framework.Pass{
+			Analyzer:  goroleak.Analyzer,
+			Fset:      ld.Fset(),
+			Files:     loaded.Syntax,
+			Pkg:       loaded.Types,
+			TypesInfo: loaded.TypesInfo,
+			Facts:     facts,
+		}
+		pass.Report = func(d framework.Diagnostic) { diags = append(diags, d) }
+		if _, err := goroleak.Analyzer.Run(pass); err != nil {
+			t.Fatalf("analyzer on %s: %v", fx.pkg, err)
+		}
+	}
+
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly 1 (go dep.Serve()): %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "Serve") {
+		t.Fatalf("diagnostic does not name Serve: %s", diags[0].Message)
+	}
+	pos := ld.Fset().Position(diags[0].Pos)
+	if filepath.Base(pos.Filename) != "root.go" {
+		t.Fatalf("diagnostic at %s, want root.go (the spawn site)", pos)
+	}
+}

@@ -1,0 +1,174 @@
+// Package a exercises the goroleak analyzer: go statements spawning
+// functions with no termination path are flagged; goroutines with a
+// reachable return, break, bound, or terminating call are not.
+package a
+
+import (
+	"log"
+	"os"
+	"runtime"
+)
+
+func work(int)          {}
+func next() (int, bool) { return 0, false }
+
+// spin never returns: infinite loop, no escape.
+func spin() {
+	for {
+		work(1)
+	}
+}
+
+// spinsViaCallee never returns because its spine calls spin.
+func spinsViaCallee() {
+	work(0)
+	spin()
+}
+
+// blockForever never returns: select{} blocks by definition.
+func blockForever() {
+	select {}
+}
+
+// drain terminates when ch is closed: range over a channel is a
+// termination path.
+func drain(ch chan int) {
+	for v := range ch {
+		work(v)
+	}
+}
+
+// pump has a return inside the loop.
+func pump(done chan struct{}, ch chan int) {
+	for {
+		select {
+		case <-done:
+			return
+		case v := <-ch:
+			work(v)
+		}
+	}
+}
+
+// crashy terminates the goroutine via panic.
+func crashy() {
+	for {
+		panic("boom")
+	}
+}
+
+// exits terminates the process.
+func exits() {
+	for {
+		os.Exit(1)
+	}
+}
+
+// bails terminates via log.Fatal.
+func bails() {
+	for {
+		log.Fatal("bye")
+	}
+}
+
+// quits ends the goroutine explicitly.
+func quits() {
+	for {
+		runtime.Goexit()
+	}
+}
+
+// bounded has a loop condition.
+func bounded() {
+	for i := 0; i < 10; i++ {
+		work(i)
+	}
+}
+
+// breaksOut escapes with an unlabeled break.
+func breaksOut() {
+	for {
+		if _, ok := next(); !ok {
+			break
+		}
+	}
+}
+
+// labeledBreak escapes an inner loop out to the label.
+func labeledBreak() {
+outer:
+	for {
+		for {
+			if _, ok := next(); !ok {
+				break outer
+			}
+		}
+	}
+}
+
+func spawnAll(done chan struct{}, ch chan int) {
+	go spin()           // want `goroutine never terminates: spin`
+	go spinsViaCallee() // want `goroutine never terminates: spinsViaCallee`
+	go blockForever()   // want `goroutine never terminates: blockForever`
+
+	go func() { // want `goroutine never terminates`
+		for {
+			work(2)
+		}
+	}()
+
+	go func() { // want `goroutine never terminates`
+		select {}
+	}()
+
+	// A nested switch retargets nothing: the unlabeled break below leaves
+	// the switch, not the loop, so the loop still has no escape.
+	go func() { // want `goroutine never terminates`
+		for {
+			switch v, _ := next(); v {
+			case 0:
+				break
+			default:
+				work(v)
+			}
+		}
+	}()
+
+	// Clean spawns: all of these terminate (or can).
+	go drain(ch)
+	go pump(done, ch)
+	go crashy()
+	go exits()
+	go bails()
+	go quits()
+	go bounded()
+	go breaksOut()
+	go labeledBreak()
+	go work(3)
+
+	go func() {
+		for v := range ch {
+			work(v)
+		}
+	}()
+
+	go func() {
+		for {
+			if _, ok := next(); !ok {
+				return
+			}
+		}
+	}()
+
+	// The inner function literal loops forever, but it is not the spawned
+	// goroutine's body — spawning a closure-maker is not itself a leak
+	// (the literal would be flagged where it is started).
+	go func() {
+		f := func() {
+			for {
+				work(4)
+			}
+		}
+		_ = f
+	}()
+}

@@ -1,0 +1,275 @@
+// Package publish defines an analyzer for mutation after publication.
+//
+// A lock-free structure hands cells to other goroutines by publishing a
+// pointer: an atomic Store, a successful CompareAndSwap, or a channel
+// send. From that instant the cell is shared — every plain field write
+// after the publication races with readers that already traversed the
+// pointer, and the race is invisible locally because the writing
+// goroutine still holds what looks like a private pointer it just
+// initialized. The correct order (the paper's Figures 17–18 and every
+// constructor in internal/mm) is: initialize fully, then publish, then
+// touch the cell only through its atomic fields.
+//
+// The analyzer tracks function-local pointers born from &T{...} or
+// new(T) and flags plain field writes through them positioned after the
+// pointer escaped:
+//
+//   - via an atomic Store method or as the new value of a CompareAndSwap
+//     — always in scope: these are the lock-free publication idioms;
+//   - via a channel send — in scope only when the struct carries a
+//     sync/atomic field, the marker of a concurrently-accessed protocol
+//     cell (mirroring abaguard's scoping; plain data sent over a channel
+//     with the receiver taking ownership is a legitimate hand-off
+//     pattern).
+//
+// Writes through the cell's own atomic fields (x.refct.Store(1)) are
+// method calls, not plain writes, and stay clean.
+package publish
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"valois/internal/analysis/framework"
+)
+
+// Analyzer reports plain field writes after the struct was published.
+var Analyzer = &framework.Analyzer{
+	Name:    "publish",
+	Doc:     "report struct fields written after the struct was published via atomic store, CAS, or channel send",
+	Version: "v1",
+	Run:     run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd.Body)
+			}
+		}
+	}
+	return nil, nil
+}
+
+type pub struct {
+	pos token.Pos
+	how string
+}
+
+type fieldWrite struct {
+	pos   token.Pos
+	v     *types.Var
+	field string
+}
+
+// checkFunc gathers one function's locally-constructed pointers, their
+// publications, and their plain field writes, then reports every write
+// positioned after its pointer's first publication. Function literals are
+// walked as part of the enclosing body; variables are distinguished by
+// object identity.
+func checkFunc(pass *framework.Pass, body *ast.BlockStmt) {
+	locals := make(map[*types.Var]bool)
+	pubs := make(map[*types.Var][]pub)
+	var writes []fieldWrite
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Rhs {
+					recordLocal(pass, locals, n.Lhs[i], n.Rhs[i])
+				}
+			}
+			for _, lhs := range n.Lhs {
+				if w, ok := asFieldWrite(pass, locals, lhs); ok {
+					writes = append(writes, w)
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Values {
+					recordLocal(pass, locals, n.Names[i], n.Values[i])
+				}
+			}
+		case *ast.IncDecStmt:
+			if w, ok := asFieldWrite(pass, locals, n.X); ok {
+				writes = append(writes, w)
+			}
+		case *ast.CallExpr:
+			recordCallPublication(pass, locals, pubs, n)
+		case *ast.SendStmt:
+			if v := localIdent(pass, locals, n.Value); v != nil && hasAtomicField(v.Type()) {
+				pubs[v] = append(pubs[v], pub{n.Pos(), "channel send"})
+			}
+		}
+		return true
+	})
+
+	for _, w := range writes {
+		for _, p := range pubs[w.v] {
+			if p.pos < w.pos {
+				ppos := pass.Fset.Position(p.pos)
+				pass.Categorizef("unsafe-publish", w.pos,
+					"field %s of %s is written after the struct was published by %s (line %d): the plain write races with readers of the published pointer — initialize before publishing, or make the field atomic",
+					w.field, w.v.Name(), p.how, ppos.Line)
+				break
+			}
+		}
+	}
+}
+
+// recordLocal marks lhs as a tracked pointer when rhs constructs a fresh
+// struct: &T{...} or new(T).
+func recordLocal(pass *framework.Pass, locals map[*types.Var]bool, lhs, rhs ast.Expr) {
+	id, ok := unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return
+	}
+	fresh := false
+	switch rhs := unparen(rhs).(type) {
+	case *ast.UnaryExpr:
+		if rhs.Op == token.AND {
+			_, fresh = unparen(rhs.X).(*ast.CompositeLit)
+		}
+	case *ast.CallExpr:
+		if fun, ok := unparen(rhs.Fun).(*ast.Ident); ok {
+			if b, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok && b.Name() == "new" {
+				fresh = true
+			}
+		}
+	}
+	if !fresh || !pointsToStruct(v.Type()) {
+		return
+	}
+	locals[v] = true
+}
+
+// recordCallPublication detects the atomic publication idioms: a Store
+// method with a tracked pointer argument, and a CompareAndSwap whose new
+// value is a tracked pointer.
+func recordCallPublication(pass *framework.Pass, locals map[*types.Var]bool, pubs map[*types.Var][]pub, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return
+	}
+	isMethod := fn.Type().(*types.Signature).Recv() != nil
+	switch {
+	case isMethod && fn.Name() == "Store":
+		for _, arg := range call.Args {
+			if v := localIdent(pass, locals, arg); v != nil {
+				pubs[v] = append(pubs[v], pub{call.Pos(), "atomic store"})
+			}
+		}
+	case isMethod && (fn.Name() == "CompareAndSwap" || strings.HasPrefix(fn.Name(), "CAS")),
+		!isMethod && strings.HasPrefix(fn.Name(), "CompareAndSwap"):
+		if len(call.Args) == 0 {
+			return
+		}
+		if v := localIdent(pass, locals, call.Args[len(call.Args)-1]); v != nil {
+			pubs[v] = append(pubs[v], pub{call.Pos(), "CompareAndSwap"})
+		}
+	}
+}
+
+// asFieldWrite decodes expr as a plain field write x.f through a tracked
+// pointer x.
+func asFieldWrite(pass *framework.Pass, locals map[*types.Var]bool, expr ast.Expr) (fieldWrite, bool) {
+	sel, ok := unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return fieldWrite{}, false
+	}
+	v := localIdent(pass, locals, sel.X)
+	if v == nil {
+		return fieldWrite{}, false
+	}
+	if s, ok := pass.TypesInfo.Selections[sel]; !ok || s.Kind() != types.FieldVal {
+		return fieldWrite{}, false
+	}
+	return fieldWrite{pos: expr.Pos(), v: v, field: sel.Sel.Name}, true
+}
+
+// localIdent resolves e to a tracked local pointer variable, or nil.
+func localIdent(pass *framework.Pass, locals map[*types.Var]bool, e ast.Expr) *types.Var {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || !locals[v] {
+		return nil
+	}
+	return v
+}
+
+func pointsToStruct(t types.Type) bool {
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	_, ok = ptr.Elem().Underlying().(*types.Struct)
+	return ok
+}
+
+// hasAtomicField reports whether the pointee struct carries a sync/atomic
+// field — the marker of a concurrently-accessed protocol cell.
+func hasAtomicField(t types.Type) bool {
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	st, ok := ptr.Elem().Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		named, ok := st.Field(i).Type().(*types.Named)
+		if ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync/atomic" {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the *types.Func a call invokes, or nil for calls
+// through function values, conversions, and builtins.
+func calleeFunc(pass *framework.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.IndexExpr: // explicit generic instantiation f[T](...)
+		if id, ok := unparen(fun.X).(*ast.Ident); ok {
+			fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+			return fn
+		}
+		if sel, ok := unparen(fun.X).(*ast.SelectorExpr); ok {
+			fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			return fn
+		}
+	}
+	return nil
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,12 @@
+package publish_test
+
+import (
+	"testing"
+
+	"valois/internal/analysis/analysistest"
+	"valois/internal/analysis/publish"
+)
+
+func TestPublish(t *testing.T) {
+	analysistest.Run(t, "testdata", publish.Analyzer, "a")
+}

@@ -1,0 +1,82 @@
+// Package a exercises the publish analyzer: plain field writes after the
+// struct escaped via atomic store, CAS, or channel send are flagged.
+package a
+
+import "sync/atomic"
+
+type Node struct {
+	val   int
+	next  atomic.Pointer[Node]
+	refct atomic.Int64
+}
+
+type Plain struct {
+	n int
+}
+
+func storeThenWrite(head *atomic.Pointer[Node]) {
+	n := &Node{}
+	n.val = 1 // initialize-before-publish: fine
+	head.Store(n)
+	n.val = 2 // want `field val of n is written after the struct was published by atomic store`
+}
+
+func casThenWrite(head *atomic.Pointer[Node]) {
+	old := head.Load()
+	n := new(Node)
+	if head.CompareAndSwap(old, n) {
+		n.val = 3 // want `field val of n is written after the struct was published by CompareAndSwap`
+	}
+}
+
+func sendThenWrite(ch chan *Node) {
+	n := &Node{val: 4}
+	ch <- n
+	n.val = 5 // want `field val of n is written after the struct was published by channel send`
+}
+
+func incAfterPublish(head *atomic.Pointer[Node]) {
+	n := &Node{}
+	head.Store(n)
+	n.val++ // want `field val of n is written after the struct was published by atomic store`
+}
+
+// atomicAfterPublish touches the published cell only through its atomic
+// fields: the sanctioned pattern.
+func atomicAfterPublish(head *atomic.Pointer[Node], next *Node) {
+	n := &Node{val: 6}
+	head.Store(n)
+	n.refct.Store(1)
+	n.next.Store(next)
+}
+
+// initThenPublish is the canonical constructor order.
+func initThenPublish(head *atomic.Pointer[Node]) {
+	n := &Node{}
+	n.val = 7
+	n.refct.Store(1)
+	head.Store(n)
+}
+
+// ownershipHandoff sends a plain struct (no atomic fields): the receiver
+// takes ownership by convention, out of this analyzer's scope.
+func ownershipHandoff(ch chan *Plain) {
+	p := &Plain{}
+	ch <- p
+	p.n = 8
+}
+
+// notPublished never escapes: writes are private.
+func notPublished() int {
+	n := &Node{}
+	n.val = 9
+	n.val++
+	return n.val
+}
+
+// paramWrite: parameters are not locally-constructed; their ownership is
+// the caller's business.
+func paramWrite(head *atomic.Pointer[Node], n *Node) {
+	head.Store(n)
+	n.val = 10
+}

@@ -35,6 +35,8 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+
+	"valois/internal/primitive"
 )
 
 // Block states stored in tags.
@@ -99,16 +101,19 @@ type descriptor struct {
 }
 
 func (s *freeStack) push(d *descriptor) {
+	var backoff primitive.Backoff
 	for {
 		top := s.top.Load()
 		d.next.Store(top)
 		if s.top.CompareAndSwap(top, d) {
 			return
 		}
+		backoff.Wait() // §2.1: back off instead of re-colliding immediately
 	}
 }
 
 func (s *freeStack) pop() *descriptor {
+	var backoff primitive.Backoff
 	for {
 		top := s.top.Load()
 		if top == nil {
@@ -117,6 +122,7 @@ func (s *freeStack) pop() *descriptor {
 		if s.top.CompareAndSwap(top, top.next.Load()) {
 			return top
 		}
+		backoff.Wait() // §2.1: back off instead of re-colliding immediately
 	}
 }
 
@@ -160,6 +166,7 @@ func (a *Allocator) Alloc(order int) (int, error) {
 	if order < 0 || order > a.maxOrder {
 		return 0, fmt.Errorf("%w: order %d out of [0,%d]", ErrBadSize, order, a.maxOrder)
 	}
+	var backoff primitive.Backoff
 	for {
 		if d := a.free[order].pop(); d != nil {
 			// Validate against the tag: the descriptor is stale if a
@@ -170,6 +177,7 @@ func (a *Allocator) Alloc(order int) (int, error) {
 				return d.offset, nil
 			}
 			a.stale.Add(1)
+			backoff.Wait() // §2.1: back off instead of re-colliding immediately
 			continue
 		}
 		// Free list empty: split a larger block.
@@ -237,6 +245,7 @@ func (a *Allocator) Free(offset, order int) error {
 
 // freeBlock makes [offset, offset+2^order) available, coalescing upward.
 func (a *Allocator) freeBlock(offset, order int) {
+	var backoff primitive.Backoff
 	for {
 		if order == a.maxOrder {
 			a.publishFree(offset, order)
@@ -262,6 +271,7 @@ func (a *Allocator) freeBlock(offset, order int) {
 			}
 			// Lost the claim race (the buddy was allocated or merged by
 			// someone else); re-read and fall through to publishing.
+			backoff.Wait() // §2.1: back off instead of re-colliding immediately
 			continue
 		}
 		a.publishFree(offset, order)

@@ -435,6 +435,7 @@ func (p *Proxy) pump(cc net.Conn) {
 	cwg.Add(2)
 	go func() {
 		defer cwg.Done()
+		//lfcheck:allow conndeadline the proxy must tolerate injected stalls of any length; Proxy.Close closes both conns, which unblocks the copy
 		io.Copy(uc, cc) // client → server, faults on the read side
 		if tc, ok := uc.(*net.TCPConn); ok {
 			tc.CloseWrite()
@@ -444,6 +445,7 @@ func (p *Proxy) pump(cc net.Conn) {
 	}()
 	go func() {
 		defer cwg.Done()
+		//lfcheck:allow conndeadline the proxy must tolerate injected stalls of any length; Proxy.Close closes both conns, which unblocks the copy
 		io.Copy(cc, uc) // server → client, faults on the write side
 		if fc, ok := cc.(*Conn); ok {
 			fc.CloseWrite()

@@ -517,6 +517,7 @@ func (m *RC[T]) push(s *stripe[T], n *Node[T]) {
 func (m *RC[T]) grow(s *stripe[T]) *Node[T] {
 	want := int64(m.batch)
 	if m.capacity > 0 {
+		backoff := primitive.Backoff{Disabled: m.noBackoff}
 		for {
 			created := m.stats.created.Load()
 			remaining := m.capacity - created
@@ -531,6 +532,7 @@ func (m *RC[T]) grow(s *stripe[T]) *Node[T] {
 				want = n
 				break
 			}
+			backoff.Wait()
 		}
 	} else {
 		m.stats.created.Add(want)

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"valois/internal/mm"
+	"valois/internal/primitive"
 )
 
 // MMQueue is the lock-free FIFO queue of the author's companion paper
@@ -48,11 +49,13 @@ func (q *MMQueue[T]) Enqueue(value T) bool {
 	}
 	n.SetKind(mm.KindCell)
 	n.Item = value
+	var backoff primitive.Backoff
 	for {
 		t := m.SafeRead(&q.tail)
 		next := t.Next() // t is held, so this read is stable
 		if next != nil {
 			// The tail lags; help swing it forward before retrying.
+			// Helping is progress, so no backoff on this path.
 			if q.tail.CompareAndSwap(t, next) {
 				m.AddRef(next) // refs: tail root now holds next
 				m.Release(t)   // refs: tail root dropped t
@@ -72,6 +75,7 @@ func (q *MMQueue[T]) Enqueue(value T) bool {
 			return true
 		}
 		m.Release(t)
+		backoff.Wait() // §2.1: back off instead of re-colliding immediately
 	}
 }
 
@@ -81,6 +85,7 @@ func (q *MMQueue[T]) Enqueue(value T) bool {
 // the last reference disappears.
 func (q *MMQueue[T]) Dequeue() (T, bool) {
 	m := q.manager
+	var backoff primitive.Backoff
 	for {
 		h := m.SafeRead(&q.head)
 		next := m.SafeRead(h.NextAddr())
@@ -106,6 +111,7 @@ func (q *MMQueue[T]) Dequeue() (T, bool) {
 		}
 		m.Release(h)
 		m.Release(next)
+		backoff.Wait() // §2.1: back off instead of re-colliding immediately
 	}
 }
 

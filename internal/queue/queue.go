@@ -7,7 +7,11 @@
 // reused while referenced, which is the §5.1 condition for ABA freedom).
 package queue
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"valois/internal/primitive"
+)
 
 // Queue is a lock-free multi-producer multi-consumer FIFO queue. The
 // queue is a singly-linked list with head and tail pointers; the head
@@ -38,11 +42,13 @@ func NewQueue[T any]() *Queue[T] {
 // Enqueue appends value at the back of the queue.
 func (q *Queue[T]) Enqueue(value T) {
 	n := &qnode[T]{value: value}
+	var backoff primitive.Backoff
 	for {
 		tail := q.tail.Load()
 		next := tail.next.Load()
 		if next != nil {
-			// The tail lags; help swing it before retrying.
+			// The tail lags; help swing it before retrying. Helping is
+			// progress, so no backoff on this path.
 			q.tail.CompareAndSwap(tail, next)
 			continue
 		}
@@ -52,12 +58,14 @@ func (q *Queue[T]) Enqueue(value T) {
 			q.tail.CompareAndSwap(tail, n)
 			return
 		}
+		backoff.Wait() // §2.1: back off instead of re-colliding immediately
 	}
 }
 
 // Dequeue removes and returns the value at the front of the queue,
 // reporting false if the queue is empty.
 func (q *Queue[T]) Dequeue() (T, bool) {
+	var backoff primitive.Backoff
 	for {
 		head := q.head.Load()
 		tail := q.tail.Load()
@@ -68,6 +76,7 @@ func (q *Queue[T]) Dequeue() (T, bool) {
 		}
 		if head == tail {
 			// Non-empty but the tail lags behind; help it forward.
+			// Helping is progress, so no backoff on this path.
 			q.tail.CompareAndSwap(tail, next)
 			continue
 		}
@@ -75,6 +84,7 @@ func (q *Queue[T]) Dequeue() (T, bool) {
 		if q.head.CompareAndSwap(head, next) {
 			return value, true
 		}
+		backoff.Wait() // §2.1: back off instead of re-colliding immediately
 	}
 }
 
@@ -108,18 +118,21 @@ func NewStack[T any]() *Stack[T] {
 // Push places value on top of the stack (Figure 18's Reclaim shape).
 func (s *Stack[T]) Push(value T) {
 	n := &qnode[T]{value: value}
+	var backoff primitive.Backoff
 	for {
 		top := s.top.Load()
 		n.next.Store(top)
 		if s.top.CompareAndSwap(top, n) {
 			return
 		}
+		backoff.Wait() // §2.1: back off instead of re-colliding immediately
 	}
 }
 
 // Pop removes and returns the value on top of the stack, reporting false
 // if the stack is empty (Figure 17's Alloc shape).
 func (s *Stack[T]) Pop() (T, bool) {
+	var backoff primitive.Backoff
 	for {
 		top := s.top.Load()
 		if top == nil {
@@ -132,6 +145,7 @@ func (s *Stack[T]) Pop() (T, bool) {
 		if s.top.CompareAndSwap(top, top.next.Load()) {
 			return top.value, true
 		}
+		backoff.Wait() // §2.1: back off instead of re-colliding immediately
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 
 	"valois/internal/dict"
+	"valois/internal/primitive"
 )
 
 // state is the immutable object state: a sorted slice of entries. It is
@@ -61,6 +62,7 @@ func (d *Dict[K, V]) Find(key K) (V, bool) {
 // Insert adds the item if the key is not present, copying the entire
 // state and swinging the root.
 func (d *Dict[K, V]) Insert(key K, value V) bool {
+	var backoff primitive.Backoff
 	for {
 		s := d.root.Load()
 		i, ok := find(s, key)
@@ -75,12 +77,14 @@ func (d *Dict[K, V]) Insert(key K, value V) bool {
 		if d.root.CompareAndSwap(s, next) {
 			return true
 		}
+		backoff.Wait() // §2.1: back off instead of re-colliding immediately
 	}
 }
 
 // Delete removes the item with the given key, copying the entire state
 // and swinging the root.
 func (d *Dict[K, V]) Delete(key K) bool {
+	var backoff primitive.Backoff
 	for {
 		s := d.root.Load()
 		i, ok := find(s, key)
@@ -94,6 +98,7 @@ func (d *Dict[K, V]) Delete(key K) bool {
 		if d.root.CompareAndSwap(s, next) {
 			return true
 		}
+		backoff.Wait() // §2.1: back off instead of re-colliding immediately
 	}
 }
 
