@@ -26,8 +26,8 @@ MODE ?= rc
 CONNS ?= 64
 LOAD_DURATION ?= 10s
 
-.PHONY: build test race lint lint-json lint-sarif lint-debt fuzz-short \
-	fmt-check bench-quick serve loadgen smoke chaos
+.PHONY: build test race lint lint-json lint-sarif lint-debt lint-strict \
+	fuzz-short fmt-check bench-quick serve loadgen smoke chaos
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,13 @@ lint-sarif:
 # exits 0; add JSON=1 for machine-readable output.
 lint-debt:
 	$(GO) run ./cmd/lfcheck -debt $(if $(JSON),-json) ./...
+
+# lint-strict is the CI gate for suppression hygiene: the inventory plus
+# an analysis run, failing on directives that are malformed or stale
+# (suppressing nothing — their finding was fixed, so the excuse must go
+# before it hides a future one).
+lint-strict:
+	$(GO) run ./cmd/lfcheck -debt -strict $(LFCHECK_CACHE_FLAGS) ./...
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

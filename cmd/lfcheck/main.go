@@ -19,9 +19,10 @@ import (
 	"valois/internal/analysis/conndeadline"
 	"valois/internal/analysis/framework"
 	"valois/internal/analysis/goroleak"
+	"valois/internal/analysis/hbpublish"
 	"valois/internal/analysis/mixedatomic"
-	"valois/internal/analysis/publish"
 	"valois/internal/analysis/refbalance"
+	"valois/internal/analysis/releasepath"
 	"valois/internal/analysis/saferead"
 )
 
@@ -36,6 +37,7 @@ func main() {
 		goroleak.Analyzer,
 		conndeadline.Analyzer,
 		boundedretry.Analyzer,
-		publish.Analyzer,
+		hbpublish.Analyzer,
+		releasepath.Analyzer,
 	)
 }

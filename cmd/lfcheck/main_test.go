@@ -48,7 +48,7 @@ func build(t *testing.T) (run func(args ...string) (string, string, int), runIn 
 }
 
 func TestLfcheckCLI(t *testing.T) {
-	run, _ := build(t)
+	run, runIn := build(t)
 
 	t.Run("list", func(t *testing.T) {
 		out, _, exit := run("-list")
@@ -57,7 +57,7 @@ func TestLfcheckCLI(t *testing.T) {
 		}
 		for _, name := range []string{
 			"mixedatomic", "saferead", "refbalance", "abaguard", "casloop", "atomiccopy",
-			"goroleak", "conndeadline", "boundedretry", "publish",
+			"goroleak", "conndeadline", "boundedretry", "hbpublish", "releasepath",
 		} {
 			if !strings.Contains(out, name) {
 				t.Errorf("-list output missing analyzer %q:\n%s", name, out)
@@ -180,8 +180,8 @@ func TestLfcheckCLI(t *testing.T) {
 			t.Fatalf("unexpected SARIF envelope: version %q, %d runs", log.Version, len(log.Runs))
 		}
 		r := log.Runs[0]
-		if r.Tool.Driver.Name != "lfcheck" || len(r.Tool.Driver.Rules) != 10 {
-			t.Fatalf("driver = %q with %d rules, want lfcheck with 10", r.Tool.Driver.Name, len(r.Tool.Driver.Rules))
+		if r.Tool.Driver.Name != "lfcheck" || len(r.Tool.Driver.Rules) != 11 {
+			t.Fatalf("driver = %q with %d rules, want lfcheck with 11", r.Tool.Driver.Name, len(r.Tool.Driver.Rules))
 		}
 		if len(r.Results) == 0 {
 			t.Fatal("SARIF results are empty")
@@ -206,7 +206,7 @@ func TestLfcheckCLI(t *testing.T) {
 	})
 
 	t.Run("whole tree is clean", func(t *testing.T) {
-		// The suite's acceptance bar: all ten analyzers at zero findings
+		// The suite's acceptance bar: all eleven analyzers at zero findings
 		// tree-wide. This is also the regression net for the backoff and
 		// deadline fixes — removing one re-flags its loop here.
 		out, stderr, exit := run("./...")
@@ -265,9 +265,49 @@ func TestLfcheckCLI(t *testing.T) {
 		}
 	})
 
+	t.Run("debt strict keeps used directives", func(t *testing.T) {
+		// Both faultnet suppressions still shield live conndeadline
+		// findings, so the strict inventory passes and marks nothing.
+		out, stderr, exit := run("-debt", "-strict", "./internal/faultnet")
+		if exit != 0 {
+			t.Fatalf("-debt -strict exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", exit, out, stderr)
+		}
+		if strings.Contains(out, "STALE") {
+			t.Fatalf("used directives marked stale:\n%s", out)
+		}
+	})
+
 	t.Run("debt and sarif are exclusive", func(t *testing.T) {
 		if _, _, exit := run("-debt", "-sarif", "./internal/faultnet"); exit != 2 {
 			t.Fatalf("exit = %d, want 2", exit)
+		}
+	})
+
+	t.Run("debt strict flags stale directives", func(t *testing.T) {
+		// A directive whose finding has since been fixed suppresses
+		// nothing; strict mode must fail so it gets cleaned up before it
+		// silently excuses some future finding on its line.
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module stale\n\ngo 1.22\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		src := `package stale
+
+//lfcheck:allow casloop the retry loop here was rewritten long ago
+func fine() int { return 1 }
+`
+		if err := os.WriteFile(filepath.Join(dir, "stale.go"), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out, stderr, exit := runIn(dir, "-debt", "-strict", "./...")
+		if exit != 1 {
+			t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", exit, out, stderr)
+		}
+		if !strings.Contains(out, "STALE") {
+			t.Fatalf("stale directive not marked:\n%s", out)
+		}
+		if !strings.Contains(stderr, "1 stale") {
+			t.Fatalf("stderr = %q, want stale count", stderr)
 		}
 	})
 
@@ -293,9 +333,9 @@ func TestLfcheckCLI(t *testing.T) {
 // TestPlantAndDetect proves the v3 lifecycle analyzers stay live against
 // the code shapes they exist for: the serving tree is clean, so this test
 // plants one violation per analyzer — a leaked handler goroutine, a
-// deadline-less connection read, an unpaced CAS retry, and a
-// post-publication field write — in a temp module and requires each to be
-// detected through the real binary.
+// deadline-less connection read, an unpaced CAS retry, a post-publication
+// field write, and a reference abandoned on a panic exit — in a temp
+// module and requires each to be detected through the real binary.
 func TestPlantAndDetect(t *testing.T) {
 	_, runIn := build(t)
 	dir := t.TempDir()
@@ -350,6 +390,50 @@ func expose(n int) {
 	head.Store(s)
 	s.n = n
 }
+
+type counted struct {
+	n   int
+	ref atomic.Int64
+}
+
+var cur atomic.Pointer[counted]
+
+// SafeRead acquires a counted reference to the current cell.
+func SafeRead(p *atomic.Pointer[counted]) *counted {
+	for {
+		q := p.Load()
+		if q == nil {
+			return nil
+		}
+		q.ref.Add(1)
+		if q == p.Load() {
+			return q
+		}
+		Release(q)
+	}
+}
+
+// Release drops a counted reference.
+func Release(q *counted) {
+	if q != nil {
+		q.ref.Add(-1)
+	}
+}
+
+// snapshot abandons its reference on the panic exit: unwinding runs no
+// release, so the cell can never be reclaimed.
+func snapshot() int {
+	q := SafeRead(&cur)
+	if q == nil {
+		return 0
+	}
+	if q.n < 0 {
+		panic("corrupt session")
+	}
+	v := q.n
+	Release(q)
+	return v
+}
 `)
 
 	out, stderr, exit := runIn(dir, "-json", "./...")
@@ -371,7 +455,8 @@ func expose(n int) {
 		"goroleak/goroutine-leak",
 		"conndeadline/no-deadline",
 		"boundedretry/unbounded",
-		"publish/unsafe-publish",
+		"hbpublish/unsafe-publish",
+		"releasepath/exit-leak",
 	} {
 		if !found[want] {
 			t.Errorf("planted violation for %s not detected; diagnostics: %+v", want, diags)

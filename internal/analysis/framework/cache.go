@@ -16,7 +16,7 @@ import (
 
 // cacheSchema versions the on-disk entry format itself; bumping it orphans
 // every existing entry (they are simply never looked up again).
-const cacheSchema = "lfcheck-cache-v1"
+const cacheSchema = "lfcheck-cache-v2" // v2: entries carry used-allow keys
 
 // exportedFact is one fact a package's passes exported, recorded so a
 // cache entry can replay it into the fact store on a warm run.
@@ -33,6 +33,9 @@ type cacheEntry struct {
 	// Facts are the facts the package's passes exported, keyed by the
 	// stable object key and the fact's Go type name.
 	Facts []cachedFact `json:"facts,omitempty"`
+	// Used are the allow directives that suppressed a diagnostic in this
+	// package, so warm runs feed -debt -strict the same usage as cold ones.
+	Used []cachedAllow `json:"used,omitempty"`
 }
 
 type cachedDiag struct {
@@ -49,6 +52,12 @@ type cachedFact struct {
 	Obj  string          `json:"obj"`
 	Type string          `json:"type"`
 	Data json.RawMessage `json:"data"`
+}
+
+type cachedAllow struct {
+	File  string `json:"file"`
+	Line  int    `json:"line"`
+	Check string `json:"check"`
 }
 
 // resultCache memoizes per-package analysis results under content hashes.
@@ -189,6 +198,13 @@ func (c *resultCache) load(pkg *Package, facts *FactStore) (*pkgResult, bool) {
 		facts.install(f.Obj, fact)
 		res.facts = append(res.facts, exportedFact{objKey: f.Obj, fact: fact})
 	}
+	for _, u := range entry.Used {
+		file := u.File
+		if file != "" && !filepath.IsAbs(file) {
+			file = filepath.Join(c.base, file)
+		}
+		res.usedAllows = append(res.usedAllows, allowKey{file: file, line: u.Line, check: u.Check})
+	}
 	return res, true
 }
 
@@ -214,6 +230,13 @@ func (c *resultCache) store(pkg *Package, res *pkgResult) {
 			Category: d.Category,
 			Message:  d.Message,
 		})
+	}
+	for _, u := range res.usedAllows {
+		file := u.file
+		if rel, err := filepath.Rel(c.base, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+		entry.Used = append(entry.Used, cachedAllow{File: file, Line: u.line, Check: u.check})
 	}
 	for _, f := range res.facts {
 		data, err := json.Marshal(f.fact)

@@ -1,0 +1,506 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFunc parses one function and returns its CFG plus the fileset.
+func buildFunc(t *testing.T, src string) (*Graph, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "fixture.go", "package p\n\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return New(fd.Body, nil), fset
+		}
+	}
+	t.Fatal("no function in fixture")
+	return nil, nil
+}
+
+// checkDump builds src's CFG and compares the dump byte-for-byte. The
+// goldens pin block/edge structure and dominator trees: any builder
+// change that reshapes a graph shows up as a readable diff here.
+func checkDump(t *testing.T, src, want string) {
+	t.Helper()
+	g, fset := buildFunc(t, src)
+	got := Dump(g, fset)
+	want = strings.TrimPrefix(want, "\n")
+	if got != want {
+		t.Errorf("dump mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestDumpIfElse(t *testing.T) {
+	checkDump(t, `
+func f(x int) int {
+	if x > 0 {
+		return 1
+	} else {
+		x--
+	}
+	return x
+}
+`, `
+b0 entry:
+	x > 0
+	-> b1 [true]
+	-> b2 [false]
+b1 if.then:
+	return 1
+	-> b4 [return]
+b2 if.else:
+	x--
+	-> b3 [flow]
+b3 if.after:
+	return x
+	-> b4 [return]
+b4 exit:
+idom: b1=b0 b2=b0 b3=b2 b4=b0
+`)
+}
+
+func TestDumpGoto(t *testing.T) {
+	checkDump(t, `
+func f(x int) int {
+	if x == 0 {
+		goto done
+	}
+	x *= 2
+done:
+	return x
+}
+`, `
+b0 entry:
+	x == 0
+	-> b1 [true]
+	-> b2 [false]
+b1 if.then:
+	-> b3 [flow]
+b2 if.after:
+	x *= 2
+	-> b3 [flow]
+b3 label.done:
+	return x
+	-> b4 [return]
+b4 exit:
+idom: b1=b0 b2=b0 b3=b0 b4=b3
+`)
+}
+
+func TestDumpLabeledBreakContinue(t *testing.T) {
+	checkDump(t, `
+func f(rows [][]int) int {
+	total := 0
+outer:
+	for i := 0; i < len(rows); i++ {
+		for _, v := range rows[i] {
+			if v < 0 {
+				continue outer
+			}
+			if v == 99 {
+				break outer
+			}
+			total += v
+		}
+	}
+	return total
+}
+`, `
+b0 entry:
+	total := 0
+	-> b1 [flow]
+b1 label.outer:
+	i := 0
+	-> b2 [flow]
+b2 for.head:
+	i < len(rows)
+	-> b3 [true]
+	-> b4 [false]
+b3 for.body:
+	rows[i]
+	-> b6 [flow]
+b4 for.after:
+	return total
+	-> b13 [return]
+b5 for.post:
+	i++
+	-> b2 [flow]
+b6 range.head:
+	range: _, v := rows[i]
+	-> b7 [flow]
+	-> b8 [flow]
+b7 range.body:
+	v < 0
+	-> b9 [true]
+	-> b10 [false]
+b8 range.after:
+	-> b5 [flow]
+b9 if.then:
+	-> b5 [flow]
+b10 if.after:
+	v == 99
+	-> b11 [true]
+	-> b12 [false]
+b11 if.then:
+	-> b4 [flow]
+b12 if.after:
+	total += v
+	-> b6 [flow]
+b13 exit:
+idom: b1=b0 b2=b1 b3=b2 b4=b2 b5=b6 b6=b3 b7=b6 b8=b6 b9=b7 b10=b7 b11=b10 b12=b10 b13=b4
+`)
+}
+
+func TestDumpSelect(t *testing.T) {
+	checkDump(t, `
+func f(a, b chan int, done chan struct{}) int {
+	for {
+		select {
+		case v := <-a:
+			return v
+		case b <- 1:
+		case <-done:
+			return 0
+		}
+	}
+}
+`, `
+b0 entry:
+	-> b1 [flow]
+b1 for.head:
+	-> b2 [flow]
+b2 for.body:
+	-> b4 [flow]
+	-> b5 [flow]
+	-> b6 [flow]
+b3 select.after:
+	-> b1 [flow]
+b4 select.arm:
+	v := <-a
+	return v
+	-> b7 [return]
+b5 select.arm:
+	b <- 1
+	-> b3 [flow]
+b6 select.arm:
+	<-done
+	return 0
+	-> b7 [return]
+b7 exit:
+idom: b1=b0 b2=b1 b3=b5 b4=b2 b5=b2 b6=b2 b7=b2
+`)
+}
+
+func TestDumpDeferRecover(t *testing.T) {
+	checkDump(t, `
+func f(m map[string]int, key string) (v int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = errFromPanic
+		}
+	}()
+	if key == "" {
+		panic("empty key")
+	}
+	v = m[key]
+	return v, nil
+}
+`, `
+b0 entry:
+	defer func() { if r := recover(); r != nil { err = errFromPanic } }()
+	key == ""
+	-> b1 [true]
+	-> b2 [false]
+b1 if.then:
+	panic("empty key")
+	-> b3 [panic]
+b2 if.after:
+	v = m[key]
+	return v, nil
+	-> b3 [return]
+b3 exit:
+idom: b1=b0 b2=b0 b3=b0
+`)
+}
+
+func TestDumpSwitchFallthrough(t *testing.T) {
+	checkDump(t, `
+func f(x int) string {
+	s := ""
+	switch x {
+	case 1:
+		s += "one"
+		fallthrough
+	case 2:
+		s += "two"
+	default:
+		s = "many"
+	}
+	return s
+}
+`, `
+b0 entry:
+	s := ""
+	x
+	-> b2 [flow]
+	-> b3 [flow]
+	-> b4 [flow]
+b1 switch.after:
+	return s
+	-> b5 [return]
+b2 case:
+	1
+	s += "one"
+	-> b3 [flow]
+b3 case:
+	2
+	s += "two"
+	-> b1 [flow]
+b4 case.default:
+	s = "many"
+	-> b1 [flow]
+b5 exit:
+idom: b1=b0 b2=b0 b3=b0 b4=b0 b5=b1
+`)
+}
+
+func TestDumpTypeSwitch(t *testing.T) {
+	checkDump(t, `
+func f(x interface{}) int {
+	switch v := x.(type) {
+	case int:
+		return v
+	case string:
+		return len(v)
+	}
+	return -1
+}
+`, `
+b0 entry:
+	v := x.(type)
+	-> b2 [flow]
+	-> b3 [flow]
+	-> b1 [flow]
+b1 switch.after:
+	return -1
+	-> b4 [return]
+b2 case:
+	return v
+	-> b4 [return]
+b3 case:
+	return len(v)
+	-> b4 [return]
+b4 exit:
+idom: b1=b0 b2=b0 b3=b0 b4=b0
+`)
+}
+
+// TestDumpInfiniteLoop pins the one legal shape where the exit is
+// unreachable: every path loops forever, so the exit's dominator is
+// reported unknown.
+func TestDumpInfiniteLoop(t *testing.T) {
+	checkDump(t, `
+func f(c chan int) {
+	for {
+		<-c
+	}
+}
+`, `
+b0 entry:
+	-> b1 [flow]
+b1 for.head:
+	-> b2 [flow]
+b2 for.body:
+	<-c
+	-> b1 [flow]
+b3 exit:
+idom: b1=b0 b2=b1 b3=?
+`)
+}
+
+// TestUnreachablePruned: statements after a return that nothing jumps to
+// must not appear in the graph.
+func TestUnreachablePruned(t *testing.T) {
+	g, _ := buildFunc(t, `
+func f() int {
+	return 1
+	x := 2
+	_ = x
+}
+`)
+	for _, blk := range g.Blocks {
+		if blk.Label == "unreachable" {
+			t.Errorf("unreachable block survived pruning: b%d", blk.Index)
+		}
+	}
+}
+
+// TestSolveReachable exercises the generic forward solver with a trivial
+// may-problem: which blocks are reachable with a "flag set" fact that an
+// assignment to the magic name sets.
+func TestSolveReachable(t *testing.T) {
+	g, _ := buildFunc(t, `
+func f(x int) int {
+	armed := false
+	if x > 0 {
+		armed = true
+	}
+	return bool2int(armed)
+}
+`)
+	res := Solve(g, Problem[bool]{
+		Dir:      Forward,
+		Boundary: false,
+		Init:     false,
+		Join:     func(a, b bool) bool { return a || b },
+		Transfer: func(b *Block, in bool) bool {
+			for _, n := range b.Nodes {
+				if as, ok := n.(*ast.AssignStmt); ok {
+					if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name == "armed" {
+						if id2, ok := as.Rhs[0].(*ast.Ident); ok && id2.Name == "true" {
+							return true
+						}
+					}
+				}
+			}
+			return in
+		},
+		Equal: func(a, b bool) bool { return a == b },
+	})
+	// The exit merges the then-branch (armed) and the fallthrough (not):
+	// a may-analysis must say "possibly armed" there.
+	if !res.In[g.Exit.Index] {
+		t.Errorf("may-fact did not reach the exit")
+	}
+	// The entry itself must stay unarmed.
+	if res.Out[g.Entry.Index] {
+		t.Errorf("entry transfer spuriously armed")
+	}
+}
+
+// TestSolveBackward checks the backward orientation: liveness-style "a
+// return lies ahead" reaches the entry.
+func TestSolveBackward(t *testing.T) {
+	g, _ := buildFunc(t, `
+func f(x int) int {
+	if x > 0 {
+		return 1
+	}
+	return 0
+}
+`)
+	res := Solve(g, Problem[bool]{
+		Dir:      Backward,
+		Boundary: true,
+		Init:     false,
+		Join:     func(a, b bool) bool { return a || b },
+		Transfer: func(b *Block, in bool) bool { return in },
+		Equal:    func(a, b bool) bool { return a == b },
+	})
+	if !res.In[g.Entry.Index] {
+		t.Errorf("backward fact did not reach the entry")
+	}
+}
+
+// TestInterpExitKinds runs the bounded path interpreter over a function
+// with a return path and a panic path and checks both exits are observed
+// with the right kinds, and that branch refinement sees the conditions.
+func TestInterpExitKinds(t *testing.T) {
+	g, _ := buildFunc(t, `
+func f(x int) int {
+	if x < 0 {
+		panic("negative")
+	}
+	return x
+}
+`)
+	type state struct{ conds []string }
+	var exits []EdgeKind
+	ip := &Interp[*state]{
+		Clone: func(s *state) *state {
+			return &state{conds: append([]string(nil), s.conds...)}
+		},
+		Node: func(n ast.Node, s *state) {},
+		Edge: func(e *Edge, s *state) bool {
+			if e.Cond != nil {
+				s.conds = append(s.conds, e.Kind.String())
+			}
+			return true
+		},
+		Exit: func(e *Edge, s *state) { exits = append(exits, e.Kind) },
+	}
+	ip.Run(g, &state{})
+	var sawPanic, sawReturn bool
+	for _, k := range exits {
+		switch k {
+		case Panic:
+			sawPanic = true
+		case Return:
+			sawReturn = true
+		}
+	}
+	if !sawPanic || !sawReturn {
+		t.Errorf("exit kinds = %v, want both panic and return", exits)
+	}
+}
+
+// TestInterpLoopBudget: a loop must terminate under the visit budget and
+// still deliver a state to the exit.
+func TestInterpLoopBudget(t *testing.T) {
+	g, _ := buildFunc(t, `
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}
+`)
+	reached := 0
+	ip := &Interp[int]{
+		Clone: func(s int) int { return s },
+		Node:  func(n ast.Node, s int) {},
+		Exit:  func(e *Edge, s int) { reached++ },
+	}
+	ip.Run(g, 0)
+	if reached == 0 {
+		t.Error("no state reached the exit")
+	}
+}
+
+// TestDominates sanity-checks the helper on the if/else diamond.
+func TestDominates(t *testing.T) {
+	g, _ := buildFunc(t, `
+func f(x int) int {
+	if x > 0 {
+		x = 1
+	}
+	return x
+}
+`)
+	idom := Dominators(g)
+	if !Dominates(idom, g.Entry.Index, g.Exit.Index) {
+		t.Error("entry must dominate exit")
+	}
+	// The then-block must not dominate the exit (the false edge skips it).
+	var then *Block
+	for _, blk := range g.Blocks {
+		if blk.Label == "if.then" {
+			then = blk
+		}
+	}
+	if then == nil {
+		t.Fatal("no if.then block")
+	}
+	if Dominates(idom, then.Index, g.Exit.Index) {
+		t.Error("branch block must not dominate exit")
+	}
+}

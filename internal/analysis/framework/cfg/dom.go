@@ -1,0 +1,108 @@
+package cfg
+
+// Dominators computes the immediate-dominator relation of g with the
+// Cooper/Harvey/Kennedy iterative algorithm over a reverse postorder. The
+// returned slice is indexed by Block.Index: idom[b] is the index of b's
+// immediate dominator, idom[entry] is the entry itself, and blocks with no
+// path from the entry (the exit of a function whose every path loops
+// forever) get -1.
+//
+// Analyzers use dominance for precision in wording: a write dominated by
+// the publication point races "on every path", one merely reachable from
+// it races "on some path".
+func Dominators(g *Graph) []int {
+	rpo := ReversePostorder(g)
+	order := make([]int, len(g.Blocks)) // block index -> rpo position
+	for i := range order {
+		order[i] = -1
+	}
+	for pos, blk := range rpo {
+		order[blk.Index] = pos
+	}
+
+	idom := make([]int, len(g.Blocks))
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[g.Entry.Index] = g.Entry.Index
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for order[a] > order[b] {
+				a = idom[a]
+			}
+			for order[b] > order[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range rpo {
+			if blk == g.Entry {
+				continue
+			}
+			newIdom := -1
+			for _, e := range blk.Preds {
+				p := e.From.Index
+				if idom[p] == -1 {
+					continue // predecessor not yet processed / unreachable
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != -1 && idom[blk.Index] != newIdom {
+				idom[blk.Index] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether block a dominates block b under idom (as
+// returned by Dominators): every path from the entry to b passes through a.
+func Dominates(idom []int, a, b int) bool {
+	if idom[b] == -1 {
+		return false
+	}
+	for {
+		if b == a {
+			return true
+		}
+		if idom[b] == b { // reached the entry
+			return b == a
+		}
+		b = idom[b]
+	}
+}
+
+// ReversePostorder returns g's blocks in reverse postorder of a
+// depth-first search from the entry — the canonical iteration order for
+// forward dataflow. Successor edges are followed in their stored order, so
+// the result is deterministic for a given build.
+func ReversePostorder(g *Graph) []*Block {
+	seen := make([]bool, len(g.Blocks))
+	post := make([]*Block, 0, len(g.Blocks))
+	var dfs func(*Block)
+	dfs = func(blk *Block) {
+		if seen[blk.Index] {
+			return
+		}
+		seen[blk.Index] = true
+		for _, e := range blk.Succs {
+			dfs(e.To)
+		}
+		post = append(post, blk)
+	}
+	dfs(g.Entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}

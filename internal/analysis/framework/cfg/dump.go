@@ -1,0 +1,70 @@
+package cfg
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// Dump renders g in a compact, byte-stable text form for golden tests and
+// debugging: one section per block (index, role label, the source text of
+// each evaluated node on one line) followed by its out-edges, then the
+// dominator tree. Block order is Graph.Blocks order (entry first, exit
+// last), so output is stable for a given build.
+func Dump(g *Graph, fset *token.FileSet) string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d %s:\n", blk.Index, blk.Label)
+		for _, n := range blk.Nodes {
+			fmt.Fprintf(&sb, "\t%s\n", nodeText(n, fset))
+		}
+		for _, e := range blk.Succs {
+			fmt.Fprintf(&sb, "\t-> b%d [%s]\n", e.To.Index, e.Kind)
+		}
+	}
+	idom := Dominators(g)
+	sb.WriteString("idom:")
+	for i, d := range idom {
+		if i == g.Entry.Index {
+			continue
+		}
+		if d == -1 {
+			fmt.Fprintf(&sb, " b%d=?", i)
+		} else {
+			fmt.Fprintf(&sb, " b%d=b%d", i, d)
+		}
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+// nodeText renders one evaluated node as a single line of source.
+func nodeText(n ast.Node, fset *token.FileSet) string {
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		// The head occurrence of a RangeStmt stands for the per-iteration
+		// key/value binding, not the whole loop; render just that.
+		var head string
+		if rs.Key != nil {
+			head = exprText(rs.Key, fset)
+			if rs.Value != nil {
+				head += ", " + exprText(rs.Value, fset)
+			}
+			head += " " + rs.Tok.String() + " "
+		}
+		return "range: " + head + exprText(rs.X, fset)
+	}
+	var buf bytes.Buffer
+	cfgPrinter.Fprint(&buf, fset, n)
+	return strings.Join(strings.Fields(buf.String()), " ")
+}
+
+func exprText(e ast.Expr, fset *token.FileSet) string {
+	var buf bytes.Buffer
+	cfgPrinter.Fprint(&buf, fset, e)
+	return strings.Join(strings.Fields(buf.String()), " ")
+}
+
+var cfgPrinter = printer.Config{Mode: printer.RawFormat}

@@ -1,0 +1,135 @@
+package cfg
+
+import "go/ast"
+
+// Interp is a bounded path-sensitive interpreter: it pushes sets of
+// client states along the CFG's edges, calling back per evaluated node,
+// per edge (for branch-condition refinement), and per function exit.
+//
+// This is deliberately an under-approximation. Loops are explored until a
+// per-block visit budget runs out, then remaining states are dropped —
+// analyzers built on it report a violation only when it shows on an
+// explored path, so the budget trims reports, never adds spurious ones
+// (the lfcheck house rule: fewer reports, never noise). State-set size is
+// capped the same way.
+type Interp[S any] struct {
+	// MaxStates caps the number of distinct states queued at any one
+	// block; excess states are dropped. Zero means a default of 64.
+	MaxStates int
+
+	// MaxVisits caps how many times one block is processed; once
+	// exhausted, new states arriving there are dropped. This bounds loop
+	// exploration (the first pass plus a few refinement rounds covers the
+	// zero-, one-, and stabilized-iteration behaviors). Zero means a
+	// default of 4.
+	MaxVisits int
+
+	// Clone deep-copies a state; the interpreter forks states at branch
+	// points.
+	Clone func(S) S
+
+	// Equal, when non-nil, deduplicates states queued at the same block,
+	// keeping path explosion in check on diamond-heavy code.
+	Equal func(a, b S) bool
+
+	// Node applies one evaluated node (statement or control condition) to
+	// a state, mutating it in place.
+	Node func(n ast.Node, s S)
+
+	// Edge, when non-nil, refines a state crossing an edge — typically
+	// applying the branch condition carried on True/False edges. It
+	// returns false to kill the state (the path is infeasible).
+	Edge func(e *Edge, s S) bool
+
+	// Exit is called once per state per edge into the exit block, with
+	// the edge's kind telling the client how the function ended (Return,
+	// ImplicitReturn, or Panic).
+	Exit func(e *Edge, s S)
+}
+
+// Run explores g starting from the given entry state.
+func (ip *Interp[S]) Run(g *Graph, entry S) {
+	maxStates := ip.MaxStates
+	if maxStates == 0 {
+		maxStates = 64
+	}
+	maxVisits := ip.MaxVisits
+	if maxVisits == 0 {
+		maxVisits = 4
+	}
+
+	rpoPos := make([]int, len(g.Blocks))
+	for i := range rpoPos {
+		rpoPos[i] = -1
+	}
+	rpo := ReversePostorder(g)
+	for pos, blk := range rpo {
+		rpoPos[blk.Index] = pos
+	}
+
+	pending := make([][]S, len(g.Blocks))
+	visits := make([]int, len(g.Blocks))
+
+	enqueue := func(blk *Block, s S) {
+		q := pending[blk.Index]
+		if ip.Equal != nil {
+			for _, old := range q {
+				if ip.Equal(old, s) {
+					return
+				}
+			}
+		}
+		if len(q) >= maxStates {
+			return
+		}
+		pending[blk.Index] = append(q, s)
+	}
+	enqueue(g.Entry, entry)
+
+	for {
+		// Pick the pending block earliest in RPO — deterministic, and it
+		// drains straight-line regions before revisiting loop heads.
+		next := -1
+		for _, blk := range rpo {
+			if len(pending[blk.Index]) > 0 {
+				next = blk.Index
+				break
+			}
+		}
+		if next == -1 {
+			return
+		}
+		blk := g.Blocks[next]
+		states := pending[next]
+		pending[next] = nil
+		if visits[next] >= maxVisits {
+			continue // budget spent: drop these states
+		}
+		visits[next]++
+
+		for _, s := range states {
+			for _, n := range blk.Nodes {
+				ip.Node(n, s)
+			}
+			for i, e := range blk.Succs {
+				out := s
+				if i < len(blk.Succs)-1 {
+					out = ip.Clone(s)
+				}
+				if ip.Edge != nil && !ip.Edge(e, out) {
+					continue
+				}
+				if e.To == g.Exit {
+					if ip.Exit != nil {
+						ip.Exit(e, out)
+					}
+					continue
+				}
+				enqueue(e.To, out)
+			}
+			// A state reaching a block with no successors that is not the
+			// exit can only be the empty select: the path blocks forever
+			// and is dropped, matching the lenient rule.
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package cfg
+
+// Direction orients a dataflow problem.
+type Direction uint8
+
+const (
+	// Forward propagates facts from the entry along successor edges.
+	Forward Direction = iota
+	// Backward propagates facts from the exit along predecessor edges.
+	Backward
+)
+
+// Problem defines a monotone dataflow problem over fact type F. The solver
+// is agnostic to the lattice: the client supplies the boundary fact, the
+// join, the per-block transfer, and equality for the fixpoint test.
+type Problem[F any] struct {
+	Dir Direction
+
+	// Boundary is the fact at the flow source: the entry's in-fact for a
+	// forward problem, the exit's out-fact for a backward one.
+	Boundary F
+
+	// Init is the starting fact of every other block (conventionally the
+	// lattice bottom for may-problems, top for must-problems).
+	Init F
+
+	// Join combines facts at a merge point. It must not mutate its
+	// arguments.
+	Join func(a, b F) F
+
+	// Transfer computes a block's out-fact (in-fact for backward problems)
+	// from its flow-in fact. It must not mutate in.
+	Transfer func(b *Block, in F) F
+
+	// EdgeTransfer, when non-nil, refines the fact crossing a specific
+	// edge (e.g. applying a branch condition). It must not mutate f.
+	EdgeTransfer func(e *Edge, f F) F
+
+	// Equal reports whether two facts are equal, ending iteration.
+	Equal func(a, b F) bool
+}
+
+// Result holds the fixpoint of a dataflow problem, indexed by Block.Index.
+// In[b] is the fact flowing into b (from predecessors for a forward
+// problem, successors for a backward one); Out[b] is Transfer(b, In[b]).
+type Result[F any] struct {
+	In, Out []F
+}
+
+// Solve runs the worklist algorithm to fixpoint. Blocks are processed in
+// reverse postorder (postorder for backward problems), revisiting only
+// when an input changes; with a monotone Transfer over a finite-height
+// lattice, termination is guaranteed.
+func Solve[F any](g *Graph, p Problem[F]) Result[F] {
+	n := len(g.Blocks)
+	res := Result[F]{In: make([]F, n), Out: make([]F, n)}
+
+	rpo := ReversePostorder(g)
+	order := rpo
+	if p.Dir == Backward {
+		order = make([]*Block, len(rpo))
+		for i, blk := range rpo {
+			order[len(rpo)-1-i] = blk
+		}
+	}
+	pos := make([]int, n) // block index -> position in order
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, blk := range order {
+		pos[blk.Index] = i
+	}
+
+	boundary := g.Entry
+	if p.Dir == Backward {
+		boundary = g.Exit
+	}
+	for _, blk := range g.Blocks {
+		if blk == boundary {
+			res.In[blk.Index] = p.Boundary
+		} else {
+			res.In[blk.Index] = p.Init
+		}
+		res.Out[blk.Index] = p.Transfer(blk, res.In[blk.Index])
+	}
+
+	// flowEdges yields the edges facts propagate across from blk, paired
+	// with the receiving block.
+	type hop struct {
+		e  *Edge
+		to *Block
+	}
+	flow := func(blk *Block) []hop {
+		var hs []hop
+		if p.Dir == Forward {
+			for _, e := range blk.Succs {
+				hs = append(hs, hop{e, e.To})
+			}
+		} else {
+			for _, e := range blk.Preds {
+				hs = append(hs, hop{e, e.From})
+			}
+		}
+		return hs
+	}
+
+	dirty := make([]bool, n)
+	for _, blk := range order {
+		dirty[blk.Index] = true
+	}
+	for {
+		// Pick the dirty block earliest in iteration order — deterministic
+		// and close to the classic RPO sweep.
+		next := -1
+		for _, blk := range order {
+			if dirty[blk.Index] {
+				next = blk.Index
+				break
+			}
+		}
+		if next == -1 {
+			break
+		}
+		dirty[next] = false
+		blk := g.Blocks[next]
+
+		res.Out[next] = p.Transfer(blk, res.In[next])
+		for _, h := range flow(blk) {
+			if pos[h.to.Index] == -1 {
+				continue // not reachable in this direction
+			}
+			f := res.Out[next]
+			if p.EdgeTransfer != nil {
+				f = p.EdgeTransfer(h.e, f)
+			}
+			joined := p.Join(res.In[h.to.Index], f)
+			if !p.Equal(joined, res.In[h.to.Index]) {
+				res.In[h.to.Index] = joined
+				dirty[h.to.Index] = true
+			}
+		}
+	}
+	return res
+}

@@ -24,6 +24,33 @@ type Directive struct {
 	// proxy for how long the suppression has gone unrevisited.
 	AgeDays   int  `json:"age_days"`
 	Malformed bool `json:"malformed,omitempty"`
+	// Stale marks a well-formed directive that suppressed nothing in the
+	// strict-mode analysis run: the code it excused has been fixed or
+	// deleted, so the suppression should be removed before it silently
+	// excuses a future, unrelated finding on its line.
+	Stale bool `json:"stale,omitempty"`
+}
+
+// MarkStale sets Stale on every well-formed directive that does not appear
+// in used (the allow directives an analysis run actually consulted),
+// returning how many it marked. Positions are compared after relativizing
+// to the current directory, matching CollectDebt's rendering.
+func MarkStale(dirs []Directive, used []AllowUse) int {
+	consulted := make(map[string]bool, len(used))
+	for _, u := range used {
+		consulted[fmt.Sprintf("%s:%d:%s", relToCwd(u.File), u.Line, u.Check)] = true
+	}
+	stale := 0
+	for i := range dirs {
+		if dirs[i].Malformed {
+			continue
+		}
+		if !consulted[fmt.Sprintf("%s:%d:%s", dirs[i].File, dirs[i].Line, dirs[i].Check)] {
+			dirs[i].Stale = true
+			stale++
+		}
+	}
+	return stale
 }
 
 // CollectDebt scans the packages matching the patterns for //lfcheck:allow
@@ -116,6 +143,8 @@ func WriteDebtText(w io.Writer, dirs []Directive) error {
 		status := ""
 		if d.Malformed {
 			status = " MALFORMED"
+		} else if d.Stale {
+			status = " STALE"
 		}
 		if _, err := fmt.Fprintf(w, "%s:%d: %s [%dd]%s: %s\n",
 			d.File, d.Line, d.Check, d.AgeDays, status, d.Reason); err != nil {

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"valois/internal/analysis/framework/cfg"
 )
 
 // Driver runs a set of analyzers over packages with the scheduling and
@@ -49,6 +51,19 @@ type RunStats struct {
 	// CacheHits counts packages restored from the warm cache instead of
 	// being analyzed; Analyzed + CacheHits == Packages.
 	CacheHits int
+	// UsedAllows lists the //lfcheck:allow directives that suppressed at
+	// least one diagnostic during this run (deduplicated, sorted). The
+	// -debt -strict mode compares this against the directive inventory to
+	// find suppressions that no longer suppress anything.
+	UsedAllows []AllowUse
+}
+
+// AllowUse identifies one allow directive, by position and check name, that
+// a run actually consulted to drop a diagnostic.
+type AllowUse struct {
+	File  string
+	Line  int
+	Check string
 }
 
 // pkgResult accumulates one package's outcome: its reportable diagnostics
@@ -56,6 +71,10 @@ type RunStats struct {
 type pkgResult struct {
 	diags []RunDiagnostic
 	facts []exportedFact
+	// usedAllows are the directives that suppressed a diagnostic in this
+	// package, deduplicated. They ride the cache so a warm run reports the
+	// same usage a cold one would.
+	usedAllows []allowKey
 }
 
 // Run loads the patterns and applies the driver's analyzers to every
@@ -183,11 +202,28 @@ func (d *Driver) Run(patterns ...string) ([]RunDiagnostic, RunStats, error) {
 	stats.CacheHits = int(hits.Load())
 
 	var diags []RunDiagnostic
+	used := make(map[allowKey]bool)
 	for _, pkg := range pkgs {
 		if res := results[pkg.PkgPath]; res != nil {
 			diags = append(diags, res.diags...)
+			for _, k := range res.usedAllows {
+				used[k] = true
+			}
 		}
 	}
+	for k := range used {
+		stats.UsedAllows = append(stats.UsedAllows, AllowUse{File: k.file, Line: k.line, Check: k.check})
+	}
+	sort.Slice(stats.UsedAllows, func(i, j int) bool {
+		a, b := stats.UsedAllows[i], stats.UsedAllows[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Check < b.Check
+	})
 	sortDiagnostics(diags)
 	return diags, stats, nil
 }
@@ -202,6 +238,10 @@ func (d *Driver) analyzePackage(pkg *Package, facts *FactStore) (*pkgResult, err
 	if !pkg.DepOnly {
 		allows = collectAllows(pkg, &res.diags)
 	}
+	usedSet := make(map[allowKey]bool)
+	// One CFG cache per package: every analyzer's pass shares the graphs
+	// (passes run sequentially within a package, so no locking).
+	cfgs := cfg.NewCache(pkg.TypesInfo)
 	for _, a := range d.Analyzers {
 		if pkg.DepOnly && len(a.FactTypes) == 0 {
 			continue // dependency passes exist only to compute facts
@@ -213,6 +253,7 @@ func (d *Driver) analyzePackage(pkg *Package, facts *FactStore) (*pkgResult, err
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.TypesInfo,
 			Facts:     facts,
+			cfgs:      cfgs,
 			exportHook: func(objKey string, fact Fact) {
 				res.facts = append(res.facts, exportedFact{objKey: objKey, fact: fact})
 			},
@@ -222,7 +263,11 @@ func (d *Driver) analyzePackage(pkg *Package, facts *FactStore) (*pkgResult, err
 				return
 			}
 			pos := pkg.Fset.Position(di.Pos)
-			if allowed(allows, pos, a.Name) {
+			if key, ok := allowed(allows, pos, a.Name); ok {
+				if !usedSet[key] {
+					usedSet[key] = true
+					res.usedAllows = append(res.usedAllows, key)
+				}
 				return
 			}
 			res.diags = append(res.diags, RunDiagnostic{

@@ -16,6 +16,8 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+
+	"valois/internal/analysis/framework/cfg"
 )
 
 // Analyzer describes one static check, mirroring analysis.Analyzer.
@@ -66,6 +68,22 @@ type Pass struct {
 	// exportHook, when set by the driver, observes every exported fact so
 	// the incremental cache can record which facts this package produced.
 	exportHook func(objKey string, fact Fact)
+
+	// cfgs memoizes per-function control-flow graphs. The driver shares
+	// one cache across every analyzer's pass over a package (analyzers run
+	// sequentially per package); when unset — e.g. under analysistest —
+	// FuncCFG creates a pass-local one on first use.
+	cfgs *cfg.Cache
+}
+
+// FuncCFG returns the control-flow graph of a function body in this
+// package, built on first use and memoized for the rest of the package's
+// analysis, so the path-sensitive analyzers share one graph per function.
+func (p *Pass) FuncCFG(body *ast.BlockStmt) *cfg.Graph {
+	if p.cfgs == nil {
+		p.cfgs = cfg.NewCache(p.TypesInfo)
+	}
+	return p.cfgs.Get(body)
 }
 
 // Reportf reports a formatted diagnostic at pos with no category.

@@ -24,7 +24,10 @@ import (
 //	             unchanged packages and prints a work summary to stderr
 //	-jobs N      analyze at most N packages concurrently (0: GOMAXPROCS)
 //	-debt        inventory //lfcheck:allow directives (text, or JSON with
-//	             -json) instead of running analyzers; always exits 0
+//	             -json) instead of running analyzers; exits 0 unless -strict
+//	-strict      with -debt: also run the analyzers, mark directives that
+//	             suppressed nothing as STALE, and exit 1 when any directive
+//	             is stale or malformed
 func Main(analyzers ...*Analyzer) {
 	checks := flag.String("checks", "", "comma-separated list of analyzers to run (default: all)")
 	list := flag.Bool("list", false, "list available analyzers and exit")
@@ -33,6 +36,7 @@ func Main(analyzers ...*Analyzer) {
 	cacheDir := flag.String("cache", "", "directory for the incremental result cache (default: no cache)")
 	jobs := flag.Int("jobs", 0, "maximum number of concurrently analyzed packages (0: GOMAXPROCS)")
 	debt := flag.Bool("debt", false, "report the //lfcheck:allow suppression inventory instead of analyzing")
+	strict := flag.Bool("strict", false, "with -debt: run the analyzers and exit 1 on stale or malformed directives")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: %s [flags] [packages]\n\nAnalyzers:\n", os.Args[0])
 		for _, a := range analyzers {
@@ -85,6 +89,29 @@ func Main(analyzers ...*Analyzer) {
 			fmt.Fprintf(os.Stderr, "lfcheck: %v\n", err)
 			os.Exit(2)
 		}
+		stale, malformed := 0, 0
+		if *strict {
+			// A strict inventory re-runs the analyzers to learn which
+			// directives still earn their keep: one that suppresses nothing
+			// is dead weight waiting to hide a future finding.
+			driver := &Driver{
+				Loader:    NewLoader(""),
+				Analyzers: selected,
+				CacheDir:  *cacheDir,
+				Jobs:      *jobs,
+			}
+			_, stats, err := driver.Run(patterns...)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lfcheck: %v\n", err)
+				os.Exit(2)
+			}
+			stale = MarkStale(dirs, stats.UsedAllows)
+			for _, d := range dirs {
+				if d.Malformed {
+					malformed++
+				}
+			}
+		}
 		write := WriteDebtText
 		if *jsonOut {
 			write = WriteDebtJSON
@@ -92,6 +119,10 @@ func Main(analyzers ...*Analyzer) {
 		if err := write(os.Stdout, dirs); err != nil {
 			fmt.Fprintf(os.Stderr, "lfcheck: %v\n", err)
 			os.Exit(2)
+		}
+		if *strict && stale+malformed > 0 {
+			fmt.Fprintf(os.Stderr, "lfcheck: %d stale and %d malformed directive(s)\n", stale, malformed)
+			os.Exit(1)
 		}
 		return
 	}
@@ -181,18 +212,21 @@ type allowKey struct {
 }
 
 // allowed reports whether a diagnostic of the named analyzer at pos is
-// covered by a directive on its own line or the line above.
-func allowed(allows map[allowKey]bool, pos token.Position, analyzer string) bool {
+// covered by a directive on its own line or the line above, returning the
+// key of the directive that matched so the run can record it as used.
+func allowed(allows map[allowKey]bool, pos token.Position, analyzer string) (allowKey, bool) {
 	if len(allows) == 0 {
-		return false
+		return allowKey{}, false
 	}
 	for _, check := range [2]string{analyzer, "all"} {
-		if allows[allowKey{pos.Filename, pos.Line, check}] ||
-			allows[allowKey{pos.Filename, pos.Line - 1, check}] {
-			return true
+		for _, line := range [2]int{pos.Line, pos.Line - 1} {
+			key := allowKey{pos.Filename, line, check}
+			if allows[key] {
+				return key, true
+			}
 		}
 	}
-	return false
+	return allowKey{}, false
 }
 
 const allowPrefix = "//lfcheck:allow"

@@ -1,0 +1,12 @@
+package hbpublish_test
+
+import (
+	"testing"
+
+	"valois/internal/analysis/analysistest"
+	"valois/internal/analysis/hbpublish"
+)
+
+func TestHBPublish(t *testing.T) {
+	analysistest.Run(t, "testdata", hbpublish.Analyzer, "a")
+}

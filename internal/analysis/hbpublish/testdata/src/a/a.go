@@ -1,0 +1,138 @@
+// Package a exercises the hbpublish analyzer: plain field writes at a
+// point reachable after the struct escaped via atomic store, CAS, or
+// channel send are flagged; writes on paths the publication cannot reach
+// are not, and the loop back edge counts as reachability.
+package a
+
+import "sync/atomic"
+
+type Node struct {
+	val   int
+	next  atomic.Pointer[Node]
+	refct atomic.Int64
+}
+
+type Plain struct {
+	n int
+}
+
+func storeThenWrite(head *atomic.Pointer[Node]) {
+	n := &Node{}
+	n.val = 1 // initialize-before-publish: fine
+	head.Store(n)
+	n.val = 2 // want `field val of n is written after the struct was published by atomic store \(line 22\) on every path`
+}
+
+func casThenWrite(head *atomic.Pointer[Node]) {
+	old := head.Load()
+	n := new(Node)
+	if head.CompareAndSwap(old, n) {
+		n.val = 3 // want `field val of n is written after the struct was published by CompareAndSwap \(line 29\) on every path`
+	}
+}
+
+func sendThenWrite(ch chan *Node) {
+	n := &Node{val: 4}
+	ch <- n
+	n.val = 5 // want `field val of n is written after the struct was published by channel send \(line 36\) on every path`
+}
+
+func incAfterPublish(head *atomic.Pointer[Node]) {
+	n := &Node{}
+	head.Store(n)
+	n.val++ // want `field val of n is written after the struct was published by atomic store \(line 42\) on every path`
+}
+
+// loopRepublish: the write sits textually above the CAS, but the loop's
+// back edge makes it reachable after iteration one's publication — the
+// race the position-based analyzer could not see.
+func loopRepublish(head *atomic.Pointer[Node]) {
+	n := &Node{}
+	for i := 0; i < 2; i++ {
+		n.val = i // want `field val of n is written after the struct was published by CompareAndSwap \(line 53\) on some path`
+		head.CompareAndSwap(nil, n)
+	}
+}
+
+// branchPublishJoin: published only on one branch, written after the
+// join — a race on the paths through the then-branch.
+func branchPublishJoin(head *atomic.Pointer[Node], c bool) {
+	n := &Node{}
+	if c {
+		head.Store(n)
+	}
+	n.val = 14 // want `field val of n is written after the struct was published by atomic store \(line 62\) on some path`
+}
+
+// atomicAfterPublish touches the published cell only through its atomic
+// fields: the sanctioned pattern.
+func atomicAfterPublish(head *atomic.Pointer[Node], next *Node) {
+	n := &Node{val: 6}
+	head.Store(n)
+	n.refct.Store(1)
+	n.next.Store(next)
+}
+
+// initThenPublish is the canonical constructor order.
+func initThenPublish(head *atomic.Pointer[Node]) {
+	n := &Node{}
+	n.val = 7
+	n.refct.Store(1)
+	head.Store(n)
+}
+
+// ownershipHandoff sends a plain struct (no atomic fields): the receiver
+// takes ownership by convention, out of this analyzer's scope.
+func ownershipHandoff(ch chan *Plain) {
+	p := &Plain{}
+	ch <- p
+	p.n = 8
+}
+
+// notPublished never escapes: writes are private.
+func notPublished() int {
+	n := &Node{}
+	n.val = 9
+	n.val++
+	return n.val
+}
+
+// paramWrite: parameters are not locally-constructed; their ownership is
+// the caller's business.
+func paramWrite(head *atomic.Pointer[Node], n *Node) {
+	head.Store(n)
+	n.val = 10
+}
+
+// siblingBranch: the publication and the write sit on mutually exclusive
+// branches — no execution performs both in order, so nothing is flagged.
+// The position-based analyzer reported this.
+func siblingBranch(head *atomic.Pointer[Node], c bool) {
+	n := &Node{}
+	if c {
+		head.Store(n)
+	} else {
+		n.val = 11
+		head.Store(n)
+	}
+}
+
+// repoint: after publishing the first cell, n is re-pointed at a fresh
+// private one; the write targets the new cell, not the published one.
+func repoint(head *atomic.Pointer[Node]) {
+	n := &Node{}
+	head.Store(n)
+	n = &Node{}
+	n.val = 12
+	head.Store(n)
+}
+
+// closureScope: the publication happens inside a function literal, a
+// separate accounting scope — the enclosing function's write is not
+// ordered after it by this analyzer.
+func closureScope(head *atomic.Pointer[Node]) func() {
+	n := &Node{}
+	f := func() { head.Store(n) }
+	n.val = 13
+	return f
+}

@@ -29,15 +29,25 @@
 // Release, ReleaseNodes, AddRef, Alloc — the vocabulary of Figures 15–18),
 // exactly as the saferead analyzer does.
 //
-// Like saferead, the analysis walks paths with zero-or-one loop unrolling
-// and errs toward leniency: a reference that reaches any operation with
-// unknown semantics stops being tracked. Two sources of deliberate slack:
-// a Compare&Swap keeps its expected argument alive but marks it
-// "shared" — the paper's structures routinely hold several counted
-// references to one cell around a CAS (TryDelete releases both a link
-// reference and a traversal reference of the same cell), so releases of
-// shared references are never reported as doubles; and AddRef marks its
-// argument shared the same way.
+// The function body is interpreted path by path over its control-flow
+// graph (framework/cfg), with branch edges carrying their conditions so
+// nil tests refine the state on each side. Summaries additionally record
+// when a function's +1 results are nil together — AllocInsertNodes
+// (Figure 12's both-or-neither allocation) returns either two live
+// references or two nils, never a mix — and the caller links such
+// references into a group: proving one nil (`if q == nil`) discharges the
+// whole group, so the correlated-nil idiom needs no suppression.
+//
+// Like saferead, the analysis errs toward leniency: a reference that
+// reaches any operation with unknown semantics stops being tracked, loop
+// exploration is bounded by the interpreter's visit budget, and paths that
+// end in panic are exempt (the releasepath analyzer owns exit-path
+// accounting). Two sources of deliberate slack: a Compare&Swap keeps its
+// expected argument alive but marks it "shared" — the paper's structures
+// routinely hold several counted references to one cell around a CAS
+// (TryDelete releases both a link reference and a traversal reference of
+// the same cell), so releases of shared references are never reported as
+// doubles; and AddRef marks its argument shared the same way.
 package refbalance
 
 import (
@@ -47,6 +57,7 @@ import (
 	"strings"
 
 	"valois/internal/analysis/framework"
+	"valois/internal/analysis/framework/cfg"
 )
 
 // Analyzer reports unbalanced counted references across call boundaries.
@@ -54,6 +65,7 @@ var Analyzer = &framework.Analyzer{
 	Name:      "refbalance",
 	Doc:       "report counted references not balanced by exactly one Release, following helper-call summaries",
 	FactTypes: []framework.Fact{(*Summary)(nil)},
+	Version:   "v2", // v2: CFG path interpreter + correlated-nil groups
 	Run:       run,
 }
 
@@ -88,6 +100,9 @@ type analysis struct {
 	// results holds the named result variables of the function currently
 	// being analyzed: assigning to one transfers ownership to the caller.
 	results map[*types.Var]bool
+	// nextGroup numbers the correlated-nil groups of the current function;
+	// references created by one nil-together call share a group id.
+	nextGroup int
 }
 
 // ref is the abstract state of one tracked counted reference.
@@ -96,6 +111,7 @@ type ref struct {
 	source   string    // name of the acquiring function, for diagnostics
 	released bool      // discharged by a known releasing call
 	shared   bool      // cell may hold several references (CAS expected, AddRef)
+	group    int       // correlated-nil group: 0 when independent
 }
 
 // state maps each tracked variable to its reference state.
@@ -109,14 +125,6 @@ func (s state) clone() state {
 	return c
 }
 
-// outcome is the result of interpreting a statement (or list): the states
-// that fall through, and the states escaping via break or continue.
-type outcome struct {
-	normal []state
-	brk    []state
-	cont   []state
-}
-
 func (a *analysis) analyzeFunc(typ *ast.FuncType, body *ast.BlockStmt) {
 	a.results = make(map[*types.Var]bool)
 	if typ.Results != nil {
@@ -128,10 +136,24 @@ func (a *analysis) analyzeFunc(typ *ast.FuncType, body *ast.BlockStmt) {
 			}
 		}
 	}
-	out := a.interpStmts(body.List, []state{make(state)})
-	for _, st := range out.normal {
-		a.leakCheck(st)
+	ip := &cfg.Interp[state]{
+		MaxStates: maxStates,
+		Clone:     func(st state) state { return st.clone() },
+		Equal:     statesEqual,
+		Node:      a.applyNode,
+		Edge: func(e *cfg.Edge, st state) bool {
+			a.refineNil(e, st)
+			return true
+		},
+		Exit: func(e *cfg.Edge, st state) {
+			// Panic paths are exempt: releasepath owns exit accounting for
+			// paths that do not complete normally.
+			if e.Kind != cfg.Panic {
+				a.leakCheck(st)
+			}
+		},
 	}
+	ip.Run(a.pass.FuncCFG(body), make(state))
 }
 
 // report emits one diagnostic per site.
@@ -152,248 +174,95 @@ func (a *analysis) leakCheck(st state) {
 	}
 }
 
-func (a *analysis) interpStmts(list []ast.Stmt, in []state) outcome {
-	states := in
-	var brk, cont []state
-	for _, s := range list {
-		if len(states) == 0 {
-			break // unreachable (after return/panic/branch)
-		}
-		o := a.interpStmt(s, states)
-		brk = append(brk, o.brk...)
-		cont = append(cont, o.cont...)
-		states = capStates(o.normal)
-	}
-	return outcome{normal: states, brk: brk, cont: cont}
-}
-
-func (a *analysis) interpStmt(s ast.Stmt, in []state) outcome {
-	switch s := s.(type) {
+// applyNode interprets one evaluated CFG node against one state.
+func (a *analysis) applyNode(n ast.Node, st state) {
+	switch n := n.(type) {
 	case *ast.ExprStmt:
-		if call, ok := unparen(s.X).(*ast.CallExpr); ok {
+		if call, ok := unparen(n.X).(*ast.CallExpr); ok {
 			if sum := a.summaryOf(call); sum.plusResult(0) {
 				a.report(call.Pos(), "leak",
 					"result of %s carries a counted reference that is discarded", calleeName(a.pass, call))
 			}
-			if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
-				if _, isBuiltin := a.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
-					for _, st := range in {
-						a.evalExpr(s.X, st, false)
-					}
-					return outcome{} // path terminates
-				}
-			}
 		}
-		for _, st := range in {
-			a.evalExpr(s.X, st, false)
-		}
-		return outcome{normal: in}
+		a.evalExpr(n.X, st, false)
 
 	case *ast.AssignStmt:
-		for _, st := range in {
-			a.interpAssign(s, st)
-		}
-		return outcome{normal: in}
+		a.interpAssign(n, st)
 
 	case *ast.DeclStmt:
-		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
 			for _, spec := range gd.Specs {
-				vs, ok := spec.(*ast.ValueSpec)
-				if !ok {
-					continue
-				}
-				for _, st := range in {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
 					a.interpValueSpec(vs, st)
 				}
 			}
 		}
-		return outcome{normal: in}
 
 	case *ast.ReturnStmt:
-		for _, st := range in {
-			for _, res := range s.Results {
-				a.evalExpr(res, st, true) // returning transfers ownership
-			}
-			a.leakCheck(st)
+		for _, res := range n.Results {
+			a.evalExpr(res, st, true) // returning transfers ownership
 		}
-		return outcome{}
-
-	case *ast.IfStmt:
-		if s.Init != nil {
-			in = a.interpStmt(s.Init, in).normal
-		}
-		for _, st := range in {
-			a.evalExpr(s.Cond, st, false)
-		}
-		thenIn, elseIn := a.applyNilGuard(s.Cond, in)
-		oThen := a.interpStmts(s.Body.List, thenIn)
-		var oElse outcome
-		if s.Else != nil {
-			oElse = a.interpStmt(s.Else, elseIn)
-		} else {
-			oElse.normal = elseIn
-		}
-		return outcome{
-			normal: append(oThen.normal, oElse.normal...),
-			brk:    append(oThen.brk, oElse.brk...),
-			cont:   append(oThen.cont, oElse.cont...),
-		}
-
-	case *ast.BlockStmt:
-		return a.interpStmts(s.List, in)
-
-	case *ast.ForStmt:
-		if s.Init != nil {
-			in = a.interpStmt(s.Init, in).normal
-		}
-		bodyIn := cloneAll(in)
-		var exits []state
-		if s.Cond != nil {
-			for _, st := range in {
-				a.evalExpr(s.Cond, st, false)
-			}
-			condTrue, condFalse := a.applyNilGuard(s.Cond, in)
-			bodyIn = condTrue
-			exits = append(exits, condFalse...)
-		}
-		bodyOut := a.interpStmts(s.Body.List, bodyIn)
-		after := append(bodyOut.normal, bodyOut.cont...)
-		if s.Post != nil {
-			after = a.interpStmt(s.Post, after).normal
-		}
-		exits = append(exits, bodyOut.brk...)
-		if s.Cond != nil {
-			_, condFalse := a.applyNilGuard(s.Cond, after)
-			exits = append(exits, condFalse...)
-		}
-		return outcome{normal: capStates(exits)}
-
-	case *ast.RangeStmt:
-		for _, st := range in {
-			a.evalExpr(s.X, st, false)
-		}
-		bodyOut := a.interpStmts(s.Body.List, cloneAll(in))
-		exits := append(in, bodyOut.normal...)
-		exits = append(exits, bodyOut.cont...)
-		exits = append(exits, bodyOut.brk...)
-		return outcome{normal: capStates(exits)}
-
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			in = a.interpStmt(s.Init, in).normal
-		}
-		if s.Tag != nil {
-			for _, st := range in {
-				a.evalExpr(s.Tag, st, false)
-			}
-		}
-		return a.interpCases(s.Body, in, func(cc *ast.CaseClause, st state) {
-			for _, e := range cc.List {
-				a.evalExpr(e, st, false)
-			}
-		})
-
-	case *ast.TypeSwitchStmt:
-		if s.Init != nil {
-			in = a.interpStmt(s.Init, in).normal
-		}
-		if s.Assign != nil {
-			in = a.interpStmt(s.Assign, in).normal
-		}
-		return a.interpCases(s.Body, in, nil)
-
-	case *ast.SelectStmt:
-		var normal []state
-		for _, clause := range s.Body.List {
-			cc := clause.(*ast.CommClause)
-			clauseIn := cloneAll(in)
-			if cc.Comm != nil {
-				clauseIn = a.interpStmt(cc.Comm, clauseIn).normal
-			}
-			o := a.interpStmts(cc.Body, clauseIn)
-			normal = append(normal, o.normal...)
-			normal = append(normal, o.brk...) // break exits the select
-		}
-		if len(s.Body.List) == 0 {
-			return outcome{} // select{} blocks forever
-		}
-		return outcome{normal: capStates(normal)}
-
-	case *ast.BranchStmt:
-		switch s.Tok {
-		case token.BREAK:
-			return outcome{brk: in}
-		case token.CONTINUE:
-			return outcome{cont: in}
-		case token.GOTO:
-			// Dropping the states under-approximates: no reports along
-			// goto paths rather than spurious ones.
-			return outcome{}
-		default: // fallthrough
-			return outcome{normal: in}
-		}
-
-	case *ast.LabeledStmt:
-		return a.interpStmt(s.Stmt, in)
 
 	case *ast.DeferStmt:
-		for _, st := range in {
-			a.applyCall(s.Call, st, true)
-		}
-		return outcome{normal: in}
+		a.applyCall(n.Call, st, true)
 
 	case *ast.GoStmt:
-		for _, st := range in {
-			a.evalExpr(s.Call, st, false)
-		}
-		return outcome{normal: in}
+		a.evalExpr(n.Call, st, false)
 
 	case *ast.SendStmt:
-		for _, st := range in {
-			a.evalExpr(s.Chan, st, false)
-			a.evalExpr(s.Value, st, true) // sending transfers ownership
-		}
-		return outcome{normal: in}
+		a.evalExpr(n.Chan, st, false)
+		a.evalExpr(n.Value, st, true) // sending transfers ownership
 
 	case *ast.IncDecStmt:
-		for _, st := range in {
-			a.evalExpr(s.X, st, false)
-		}
-		return outcome{normal: in}
+		a.evalExpr(n.X, st, false)
 
-	default: // EmptyStmt and anything unanticipated: no effect
-		return outcome{normal: in}
+	case *ast.RangeStmt:
+		// The per-iteration key/value binding; the range operand was
+		// already evaluated as its own node before the loop head.
+
+	case ast.Expr:
+		a.evalExpr(n, st, false)
 	}
 }
 
-// interpCases interprets a switch body: the union of all case outcomes,
-// plus fallthrough of the whole switch when there is no default clause.
-func (a *analysis) interpCases(body *ast.BlockStmt, in []state, evalCase func(*ast.CaseClause, state)) outcome {
-	var normal, cont []state
-	hasDefault := false
-	for _, clause := range body.List {
-		cc, ok := clause.(*ast.CaseClause)
-		if !ok {
-			continue
-		}
-		if cc.List == nil {
-			hasDefault = true
-		}
-		clauseIn := cloneAll(in)
-		if evalCase != nil {
-			for _, st := range clauseIn {
-				evalCase(cc, st)
+// refineNil applies the branch condition carried on a True/False edge: a
+// reference known to be nil on the taken side carries no obligation — and
+// neither do its group mates, because a nil-together callee delivered
+// either all of them or none (the correlated-nil proof that replaces the
+// old AllocInsertNodes suppressions).
+func (a *analysis) refineNil(e *cfg.Edge, st state) {
+	if e.Cond == nil {
+		return
+	}
+	be, ok := unparen(e.Cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return
+	}
+	var v *types.Var
+	if a.isNil(be.Y) {
+		v = a.varOf(be.X)
+	} else if a.isNil(be.X) {
+		v = a.varOf(be.Y)
+	}
+	if v == nil {
+		return
+	}
+	nilSide := (be.Op == token.EQL) == (e.Kind == cfg.True)
+	if !nilSide {
+		return
+	}
+	r, held := st[v]
+	if !held {
+		return
+	}
+	delete(st, v)
+	if r.group != 0 {
+		for ov, or := range st {
+			if or.group == r.group {
+				delete(st, ov)
 			}
 		}
-		o := a.interpStmts(cc.Body, clauseIn)
-		normal = append(normal, o.normal...)
-		normal = append(normal, o.brk...) // break exits the switch
-		cont = append(cont, o.cont...)
 	}
-	if !hasDefault {
-		normal = append(normal, in...)
-	}
-	return outcome{normal: capStates(normal), cont: cont}
 }
 
 // interpAssign applies one assignment statement to one state.
@@ -409,11 +278,18 @@ func (a *analysis) interpAssign(s *ast.AssignStmt, st state) {
 		if call, ok := unparen(s.Rhs[0]).(*ast.CallExpr); ok {
 			sum := a.summaryOf(call)
 			a.applyCall(call, st, false)
+			// A nil-together callee's references are born correlated: one
+			// group id links every +1 result of this call.
+			group := 0
+			if sum != nil && sum.NilTogether {
+				a.nextGroup++
+				group = a.nextGroup
+			}
 			for i, lhs := range s.Lhs {
-				a.overwriteCheck(lhs, st)
+				a.overwriteCheck(lhs, st, call.Pos())
 				if sum.plusResult(i) {
 					if lv := a.localVar(lhs); lv != nil {
-						st[lv] = ref{pos: call.Pos(), source: calleeName(a.pass, call)}
+						st[lv] = ref{pos: call.Pos(), source: calleeName(a.pass, call), group: group}
 						continue
 					}
 				}
@@ -426,7 +302,7 @@ func (a *analysis) interpAssign(s *ast.AssignStmt, st state) {
 		a.evalExpr(rhs, st, false)
 	}
 	for _, lhs := range s.Lhs {
-		a.overwriteCheck(lhs, st)
+		a.overwriteCheck(lhs, st, token.NoPos)
 		a.evalExpr(lhs, st, false)
 	}
 }
@@ -451,7 +327,7 @@ func (a *analysis) assignOne(lhs, rhs ast.Expr, st state) {
 		a.applyCall(call, st, false)
 		if sum.plusResult(0) {
 			if lv := a.localVar(lhs); lv != nil {
-				a.overwriteCheck(lhs, st)
+				a.overwriteCheck(lhs, st, call.Pos())
 				st[lv] = ref{pos: call.Pos(), source: calleeName(a.pass, call)}
 				return
 			}
@@ -460,7 +336,7 @@ func (a *analysis) assignOne(lhs, rhs ast.Expr, st state) {
 			a.evalExpr(lhs, st, false)
 			return
 		}
-		a.overwriteCheck(lhs, st)
+		a.overwriteCheck(lhs, st, token.NoPos)
 		a.evalExpr(lhs, st, false)
 		return
 	}
@@ -473,7 +349,7 @@ func (a *analysis) assignOne(lhs, rhs ast.Expr, st state) {
 			}
 			r := st[rv]
 			delete(st, rv)
-			a.overwriteCheck(lhs, st)
+			a.overwriteCheck(lhs, st, token.NoPos)
 			st[lv] = r
 			return
 		}
@@ -482,19 +358,22 @@ func (a *analysis) assignOne(lhs, rhs ast.Expr, st state) {
 		return
 	}
 	a.evalExpr(rhs, st, a.localVar(lhs) == nil)
-	a.overwriteCheck(lhs, st)
+	a.overwriteCheck(lhs, st, token.NoPos)
 	a.evalExpr(lhs, st, false)
 }
 
 // overwriteCheck reports and clears a live, reliably-single obligation when
-// its variable is about to be overwritten.
-func (a *analysis) overwriteCheck(lhs ast.Expr, st state) {
+// its variable is about to be overwritten. newPos is the acquiring call of
+// the incoming value, when there is one: re-executing the same acquisition
+// on a later loop iteration replaces the obligation silently (the previous
+// trip's balance is judged at the loop's exit edges, not here).
+func (a *analysis) overwriteCheck(lhs ast.Expr, st state, newPos token.Pos) {
 	lv := a.localVar(lhs)
 	if lv == nil {
 		return
 	}
 	if r, held := st[lv]; held {
-		if !r.released && !r.shared {
+		if !r.released && !r.shared && r.pos != newPos {
 			a.report(r.pos, "leak",
 				"counted reference in %s (from %s) is overwritten before being released", lv.Name(), r.source)
 		}
@@ -620,34 +499,6 @@ func (a *analysis) evalExpr(e ast.Expr, st state, resolving bool) {
 			return true
 		})
 	}
-}
-
-// applyNilGuard refines the then/else input states for conditions of the
-// form `x == nil` and `x != nil`: a reference known to be nil carries no
-// obligation on that branch.
-func (a *analysis) applyNilGuard(cond ast.Expr, in []state) (thenIn, elseIn []state) {
-	thenIn, elseIn = cloneAll(in), cloneAll(in)
-	be, ok := unparen(cond).(*ast.BinaryExpr)
-	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
-		return thenIn, elseIn
-	}
-	var v *types.Var
-	if a.isNil(be.Y) {
-		v = a.varOf(be.X)
-	} else if a.isNil(be.X) {
-		v = a.varOf(be.Y)
-	}
-	if v == nil {
-		return thenIn, elseIn
-	}
-	nilSide := thenIn
-	if be.Op == token.NEQ {
-		nilSide = elseIn
-	}
-	for _, st := range nilSide {
-		delete(st, v)
-	}
-	return thenIn, elseIn
 }
 
 func (a *analysis) isNil(e ast.Expr) bool {
@@ -776,39 +627,6 @@ func unparen(e ast.Expr) ast.Expr {
 		}
 		e = p.X
 	}
-}
-
-func cloneAll(in []state) []state {
-	out := make([]state, len(in))
-	for i, st := range in {
-		out[i] = st.clone()
-	}
-	return out
-}
-
-// capStates deduplicates identical states and drops the excess beyond
-// maxStates.
-func capStates(in []state) []state {
-	if len(in) <= 1 {
-		return in
-	}
-	var out []state
-	for _, st := range in {
-		dup := false
-		for _, prev := range out {
-			if statesEqual(st, prev) {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			out = append(out, st)
-		}
-		if len(out) == maxStates {
-			break
-		}
-	}
-	return out
 }
 
 func statesEqual(a, b state) bool {

@@ -47,6 +47,13 @@ type Summary struct {
 	// Params[i] is the effect on parameter i. For variadic functions the
 	// last entry covers every expanded argument.
 	Params []ParamEffect
+	// NilTogether reports that the function's +1 results are correlated:
+	// every return delivers either all of them non-nil or all of them nil
+	// (the both-or-neither allocation idiom of AllocInsertNodes). Callers
+	// link such references into a group, and proving any one nil
+	// discharges the whole group. Only meaningful with two or more +1
+	// results.
+	NilTogether bool
 }
 
 // AFact marks Summary as a framework fact.
@@ -225,7 +232,70 @@ func (s *summarizer) summarizeFunc(fd *ast.FuncDecl, fn *types.Func) *Summary {
 			sum.Results[i] = s.resultPlus(fd, sig, i, plus)
 		}
 	}
+	sum.NilTogether = s.nilTogether(fd, sig, sum)
 	return sum
+}
+
+// nilTogether decides whether the function's +1 results are born
+// correlated: with at least two +1 results, every explicit return must
+// deliver either nil literals in all +1 positions or non-nil expressions
+// in all of them. Naked returns and forwards of calls without the
+// property veto — leniency here means fewer discharged obligations, never
+// spurious reports.
+func (s *summarizer) nilTogether(fd *ast.FuncDecl, sig *types.Signature, sum *Summary) bool {
+	plusCount := 0
+	for _, p := range sum.Results {
+		if p {
+			plusCount++
+		}
+	}
+	if plusCount < 2 {
+		return false
+	}
+	ok := true
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if !ok {
+			return false
+		}
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false // separate function, separate returns
+		}
+		ret, isRet := n.(*ast.ReturnStmt)
+		if !isRet {
+			return true
+		}
+		switch {
+		case len(ret.Results) == sig.Results().Len():
+			nils := 0
+			for i, res := range ret.Results {
+				if !sum.Results[i] {
+					continue
+				}
+				if tv, found := s.pass.TypesInfo.Types[unparen(res)]; found && tv.IsNil() {
+					nils++
+				}
+			}
+			if nils != 0 && nils != plusCount {
+				ok = false // a mixed return breaks the correlation
+			}
+		case len(ret.Results) == 1:
+			// return f() forwarding a multi-result call inherits the
+			// callee's correlation.
+			call, isCall := unparen(ret.Results[0]).(*ast.CallExpr)
+			if !isCall {
+				ok = false
+				return true
+			}
+			fsum := s.summaryFor(calleeFunc(s.pass, call))
+			if fsum == nil || !fsum.NilTogether {
+				ok = false
+			}
+		default: // naked return: correlation unknowable
+			ok = false
+		}
+		return true
+	})
+	return ok
 }
 
 // paramEffect classifies every use of parameter p in the body and joins
@@ -474,7 +544,7 @@ func summariesEqual(a, b *Summary) bool {
 	if a == nil {
 		return true
 	}
-	if len(a.Results) != len(b.Results) || len(a.Params) != len(b.Params) {
+	if len(a.Results) != len(b.Results) || len(a.Params) != len(b.Params) || a.NilTogether != b.NilTogether {
 		return false
 	}
 	for i := range a.Results {

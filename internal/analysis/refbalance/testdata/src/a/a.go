@@ -230,3 +230,70 @@ func deferredRelease(m *mgr) int {
 	defer m.Release(q)
 	return readItem(q)
 }
+
+// allocPair is the AllocInsertNodes shape (Figure 12's both-or-neither
+// allocation): it returns either two live references or two nils, never a
+// mix, so its summary carries the nil-together correlation.
+func (m *mgr) allocPair() (*node, *node) {
+	q := m.Alloc()
+	if q == nil {
+		return nil, nil
+	}
+	n := m.Alloc()
+	if n == nil {
+		m.Release(q)
+		return nil, nil
+	}
+	return q, n
+}
+
+// pairInsert is the correlated-nil idiom the old analyzer needed an allow
+// for: checking one result covers both, because allocPair's references are
+// nil together. No leak on the early return.
+func pairInsert(m *mgr, v int) bool {
+	q, n := m.allocPair()
+	if q == nil {
+		return false
+	}
+	q.item = v
+	insertFront(m, q)
+	insertFront(m, n)
+	return true
+}
+
+// pairGuardOther checks the correlation through the other result: proving
+// n nil discharges q as well.
+func pairGuardOther(m *mgr) {
+	q, n := m.allocPair()
+	if n == nil {
+		return
+	}
+	m.Release(q)
+	m.Release(n)
+}
+
+// allocUncorr returns a mixed pair on one path — q live, n nil — so its
+// results are NOT nil-together and callers may not treat one nil check as
+// covering both.
+func (m *mgr) allocUncorr() (*node, *node) {
+	q := m.Alloc()
+	if q == nil {
+		return nil, nil
+	}
+	n := m.Alloc()
+	if n == nil {
+		return q, nil
+	}
+	return q, n
+}
+
+// pairLeak guards only q, but allocUncorr's results are uncorrelated: on
+// the early return n may still hold a live reference.
+func pairLeak(m *mgr) {
+	q, n := m.allocUncorr() // want `counted reference in n \(from allocUncorr\) is not released on every path`
+	if q == nil {
+		return
+	}
+	m.Release(q)
+	m.Release(n)
+}

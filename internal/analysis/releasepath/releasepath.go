@@ -1,41 +1,38 @@
-// Package saferead defines an analyzer that checks SafeRead/Release
-// balance along control-flow paths.
+// Package releasepath defines an analyzer that audits every function exit
+// path — ordinary returns, early error returns, fall-through ends, and
+// panic exits — for acquired references that are neither released nor
+// transferred.
 //
-// Under the paper's reference-counting scheme (§5, Figures 15 and 16)
-// every SafeRead acquires a counted reference that must eventually be
-// handed back with Release — a reference that is forgotten on even one
-// path can never be reclaimed, and the cell (plus everything reachable
-// through its counted links) leaks. This is the protocol-violation class
-// Michael & Scott's correction note and later surveys identify as the
-// dominant source of bugs in reference-counted lock-free structures.
+// The paper's reclamation discipline (§5, Figures 15–18) only works if
+// the count is balanced on EVERY way out of a function. The exits that
+// slip through review are rarely the happy path: they are the early
+// `return nil, err` added after the SafeRead, and the `panic` guarding a
+// broken invariant — an exit the companion analyzers deliberately exempt
+// (saferead and refbalance police paths that complete; this analyzer owns
+// the rest). A reference lost on a panic exit is especially insidious:
+// the process usually survives (a recover upstream), the count stays
+// high forever, and the cell plus everything reachable through its
+// counted links is unreclaimable.
 //
-// The analyzer tracks local variables assigned from a call to a function
-// or method named SafeRead (or the unexported safeRead wrapper idiom) and
-// interprets the function's control-flow graph (framework/cfg) path by
-// path. A tracked reference is considered resolved when it
+// The analyzer tracks local variables assigned from calls named SafeRead,
+// safeRead, Alloc, or alloc that return a pointer — the acquisition
+// intrinsics of the protocol — and interprets the function's control-flow
+// graph path by path. An obligation is discharged by anything that
+// releases or plausibly transfers it: passing the variable to any call
+// (Release, ReleaseNodes, or a helper that may assume ownership),
+// returning it, storing it into a structure, capturing it in a closure,
+// sending it on a channel, or proving it nil on the branch taken.
+// Deferred releases — `defer m.Release(q)` or a deferred closure touching
+// q — discharge the obligation for every later exit on the path,
+// including panic exits, because deferred calls run during unwinding.
 //
-//   - is passed as an argument to any call (Release, ReleaseNodes, or any
-//     other function that could assume ownership),
-//   - is returned (ownership transfers to the caller),
-//   - is stored into a struct field, slice, map, global, or dereference
-//     (ownership transfers to the structure),
-//   - is captured by a function literal or sent on a channel,
-//   - is transferred to another local variable (which inherits the
-//     obligation), or
-//   - is known to be nil on the current path (the CFG's branch edges
-//     carry their conditions, so `if q == nil` refines the nil side).
-//
-// A diagnostic is reported when a path reaches a return (or the end of the
-// function) with an unresolved reference, when a SafeRead result is
-// discarded outright, and when a live reference is overwritten.
-//
-// Loops are explored under the interpreter's per-block visit budget, and
-// short-circuit condition evaluation is approximated by evaluating the
-// whole condition on every path, so the analysis errs toward leniency: it
-// will miss some leaks but does not flag correct code. Paths that end in
-// panic are exempt from the leak check here — the releasepath analyzer
-// owns exit-path accounting, including panics.
-package saferead
+// At each exit edge of the CFG the interpreter reports what is still
+// live, with the exit kind in the message: the return being taken, the
+// fall-through end of the function, or the panic. Like its companions it
+// under-approximates — transfer is read broadly, loops are explored under
+// a visit budget — so it misses some leaks but does not flag correct
+// code.
+package releasepath
 
 import (
 	"go/ast"
@@ -46,11 +43,11 @@ import (
 	"valois/internal/analysis/framework/cfg"
 )
 
-// Analyzer reports SafeRead references that may escape Release.
+// Analyzer reports acquired references that some exit path abandons.
 var Analyzer = &framework.Analyzer{
-	Name:    "saferead",
-	Doc:     "report SafeRead results that are not Released on every path",
-	Version: "v2", // v2: rebuilt on the framework/cfg path interpreter
+	Name:    "releasepath",
+	Doc:     "report exit paths (including early returns and panics) that abandon an acquired reference",
+	Version: "v1",
 	Run:     run,
 }
 
@@ -60,7 +57,7 @@ var Analyzer = &framework.Analyzer{
 const maxStates = 64
 
 func run(pass *framework.Pass) (any, error) {
-	a := &analysis{pass: pass, reported: make(map[token.Pos]bool)}
+	a := &analysis{pass: pass, reported: make(map[reportKey]bool)}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
@@ -69,8 +66,6 @@ func run(pass *framework.Pass) (any, error) {
 					a.analyzeFunc(n.Type, n.Body)
 				}
 			case *ast.FuncLit:
-				// Each function literal is its own accounting scope; the
-				// outer scope treats captures as ownership transfers.
 				a.analyzeFunc(n.Type, n.Body)
 			}
 			return true
@@ -79,18 +74,27 @@ func run(pass *framework.Pass) (any, error) {
 	return nil, nil
 }
 
+type reportKey struct {
+	pos  token.Pos
+	kind cfg.EdgeKind
+}
+
 type analysis struct {
 	pass     *framework.Pass
-	reported map[token.Pos]bool
-	// results holds the named result variables of the function currently
-	// being analyzed: assigning to one transfers ownership to the caller
-	// (the naked-return idiom), so they are never tracked.
+	reported map[reportKey]bool
+	// results holds the named result variables of the current function:
+	// assigning to one transfers ownership to the caller.
 	results map[*types.Var]bool
 }
 
-// state maps each live tracked variable to the position of the SafeRead
-// that created its obligation.
-type state map[*types.Var]token.Pos
+// obligation records one outstanding acquired reference.
+type obligation struct {
+	pos    token.Pos // the acquiring call
+	source string    // its callee name, for the message
+}
+
+// state maps each live tracked variable to its obligation.
+type state map[*types.Var]obligation
 
 func (s state) clone() state {
 	c := make(state, len(s))
@@ -120,44 +124,43 @@ func (a *analysis) analyzeFunc(typ *ast.FuncType, body *ast.BlockStmt) {
 			a.refineNil(e, st)
 			return true
 		},
-		Exit: func(e *cfg.Edge, st state) {
-			// Panic paths are exempt here: this analyzer polices the
-			// Release obligation of paths that complete; releasepath owns
-			// the panic exits.
-			if e.Kind != cfg.Panic {
-				a.leakCheck(st)
-			}
-		},
+		Exit: a.exitCheck,
 	}
 	ip.Run(a.pass.FuncCFG(body), make(state))
 }
 
-// report emits one diagnostic per SafeRead site; every saferead finding is
-// a lost reference, so they all carry the leak category.
-func (a *analysis) report(pos token.Pos, format string, args ...any) {
-	if a.reported[pos] {
-		return
+// exitCheck runs on every edge into the exit block — this analyzer's
+// whole point is that panic edges are NOT exempt.
+func (a *analysis) exitCheck(e *cfg.Edge, st state) {
+	for v, ob := range st {
+		key := reportKey{pos: ob.pos, kind: e.Kind}
+		if a.reported[key] {
+			continue
+		}
+		a.reported[key] = true
+		switch e.Kind {
+		case cfg.Panic:
+			a.pass.Categorizef("exit-leak", ob.pos,
+				"reference in %s (from %s) is lost when this path panics: release it in a defer so the count survives unwinding", v.Name(), ob.source)
+		case cfg.Return:
+			if e.Ret != nil {
+				a.pass.Categorizef("exit-leak", ob.pos,
+					"reference in %s (from %s) is not released or transferred on the exit path through the return at line %d", v.Name(), ob.source, a.pass.Fset.Position(e.Ret.Pos()).Line)
+				continue
+			}
+			a.pass.Categorizef("exit-leak", ob.pos,
+				"reference in %s (from %s) is not released or transferred on every exit path", v.Name(), ob.source)
+		default: // ImplicitReturn: fell off the end of the function
+			a.pass.Categorizef("exit-leak", ob.pos,
+				"reference in %s (from %s) is not released or transferred when the function falls off its end", v.Name(), ob.source)
+		}
 	}
-	a.reported[pos] = true
-	a.pass.Categorizef("leak", pos, format, args...)
 }
 
-func (a *analysis) leakCheck(st state) {
-	for v, pos := range st {
-		a.report(pos, "SafeRead result in %s is not Released on every path through this function", v.Name())
-	}
-}
-
-// applyNode interprets one evaluated CFG node against one state. The
-// builder delivers statements plus the expressions of control decisions
-// (conditions, switch tags, case lists); jumps and structured statements
-// never appear — they became edges.
+// applyNode interprets one evaluated CFG node against one state.
 func (a *analysis) applyNode(n ast.Node, st state) {
 	switch n := n.(type) {
 	case *ast.ExprStmt:
-		if call, ok := unparen(n.X).(*ast.CallExpr); ok && a.isSafeReadCall(call) {
-			a.report(call.Pos(), "result of %s is discarded, leaking the acquired reference", calleeName(a.pass, call))
-		}
 		a.evalExpr(n.X, st, false)
 
 	case *ast.AssignStmt:
@@ -178,6 +181,8 @@ func (a *analysis) applyNode(n ast.Node, st state) {
 		}
 
 	case *ast.DeferStmt:
+		// A deferred call runs on every later exit of this path, panic
+		// included: releases and transfers inside it discharge now.
 		a.evalExpr(n.Call, st, false)
 
 	case *ast.GoStmt:
@@ -191,8 +196,7 @@ func (a *analysis) applyNode(n ast.Node, st state) {
 		a.evalExpr(n.X, st, false)
 
 	case *ast.RangeStmt:
-		// The per-iteration key/value binding; the range operand was
-		// already evaluated as its own node before the loop head.
+		// Per-iteration binding; the operand was its own node already.
 
 	case ast.Expr:
 		a.evalExpr(n, st, false)
@@ -224,7 +228,6 @@ func (a *analysis) refineNil(e *cfg.Edge, st state) {
 	}
 }
 
-// interpAssign applies one assignment statement to one state.
 func (a *analysis) interpAssign(s *ast.AssignStmt, st state) {
 	if len(s.Lhs) == len(s.Rhs) {
 		for i := range s.Rhs {
@@ -232,18 +235,18 @@ func (a *analysis) interpAssign(s *ast.AssignStmt, st state) {
 		}
 		return
 	}
-	// Tuple assignment: evaluate the source, then treat every destination
-	// as plainly overwritten.
 	for _, rhs := range s.Rhs {
 		a.evalExpr(rhs, st, false)
 	}
 	for _, lhs := range s.Lhs {
-		a.overwriteCheck(lhs, st, token.NoPos)
+		if lv := a.localVar(lhs); lv != nil {
+			delete(st, lv) // overwriting is saferead/refbalance's concern
+			continue
+		}
 		a.evalExpr(lhs, st, false)
 	}
 }
 
-// interpValueSpec handles `var q = m.SafeRead(...)` declarations.
 func (a *analysis) interpValueSpec(vs *ast.ValueSpec, st state) {
 	if len(vs.Names) == len(vs.Values) {
 		for i := range vs.Values {
@@ -257,12 +260,10 @@ func (a *analysis) interpValueSpec(vs *ast.ValueSpec, st state) {
 }
 
 func (a *analysis) assignOne(lhs, rhs ast.Expr, st state) {
-	// A SafeRead call assigned to a local variable starts an obligation.
-	if call, ok := unparen(rhs).(*ast.CallExpr); ok && a.isSafeReadCall(call) {
+	if call, ok := unparen(rhs).(*ast.CallExpr); ok && a.isAcquireCall(call) {
 		a.evalExpr(call, st, false)
 		if lv := a.localVar(lhs); lv != nil {
-			a.overwriteCheck(lhs, st, call.Pos())
-			st[lv] = call.Pos()
+			st[lv] = obligation{pos: call.Pos(), source: calleeName(call)}
 			return
 		}
 		// Stored straight into a field or element: ownership transferred.
@@ -276,45 +277,27 @@ func (a *analysis) assignOne(lhs, rhs ast.Expr, st state) {
 			if lv == rv {
 				return
 			}
-			pos := st[rv]
+			ob := st[rv]
 			delete(st, rv)
-			a.overwriteCheck(lhs, st, token.NoPos)
-			st[lv] = pos
+			delete(st, lv)
+			st[lv] = ob
 			return
 		}
 		delete(st, rv)
 		a.evalExpr(lhs, st, false)
 		return
 	}
-	// Plain assignment: storing into a non-local destination lets any
-	// tracked variables inside rhs escape.
 	a.evalExpr(rhs, st, a.localVar(lhs) == nil)
-	a.overwriteCheck(lhs, st, token.NoPos)
+	if lv := a.localVar(lhs); lv != nil {
+		delete(st, lv)
+		return
+	}
 	a.evalExpr(lhs, st, false)
 }
 
-// overwriteCheck reports and clears an obligation when its variable is
-// about to be overwritten while still live. newPos is the acquiring call
-// of the incoming value, when there is one: re-executing the same
-// acquisition on a later loop iteration replaces the obligation silently
-// (the per-iteration balance of the previous trip is judged at the loop's
-// exit edges, not here).
-func (a *analysis) overwriteCheck(lhs ast.Expr, st state, newPos token.Pos) {
-	lv := a.localVar(lhs)
-	if lv == nil {
-		return
-	}
-	if pos, held := st[lv]; held {
-		if pos != newPos {
-			a.report(pos, "SafeRead result in %s is overwritten before being Released", lv.Name())
-		}
-		delete(st, lv)
-	}
-}
-
-// evalExpr walks an expression, resolving tracked variables that occur in
-// ownership-transferring positions. resolving reports whether e itself is
-// in such a position (call argument, return value, composite element, ...).
+// evalExpr walks an expression, discharging tracked variables that occur
+// in release- or transfer-positions. resolving reports whether e itself
+// is in such a position.
 func (a *analysis) evalExpr(e ast.Expr, st state, resolving bool) {
 	switch e := e.(type) {
 	case nil:
@@ -328,7 +311,7 @@ func (a *analysis) evalExpr(e ast.Expr, st state, resolving bool) {
 	case *ast.ParenExpr:
 		a.evalExpr(e.X, st, resolving)
 	case *ast.SelectorExpr:
-		a.evalExpr(e.X, st, false) // q.Item, q.Next(): plain use, not a transfer
+		a.evalExpr(e.X, st, false) // q.Item: plain use, not a transfer
 	case *ast.StarExpr:
 		a.evalExpr(e.X, st, false)
 	case *ast.UnaryExpr:
@@ -339,7 +322,7 @@ func (a *analysis) evalExpr(e ast.Expr, st state, resolving bool) {
 	case *ast.CallExpr:
 		a.evalExpr(e.Fun, st, false)
 		for _, arg := range e.Args {
-			a.evalExpr(arg, st, true) // the callee may assume ownership
+			a.evalExpr(arg, st, true) // the callee may release or assume ownership
 		}
 	case *ast.IndexExpr:
 		a.evalExpr(e.X, st, resolving)
@@ -384,8 +367,7 @@ func (a *analysis) varOf(e ast.Expr) *types.Var {
 }
 
 // localVar returns the function-local, non-blank variable an lvalue
-// denotes, or nil. Package-level variables are shared state and treated as
-// escapes, not obligations.
+// denotes, or nil.
 func (a *analysis) localVar(e ast.Expr) *types.Var {
 	id, ok := unparen(e).(*ast.Ident)
 	if !ok || id.Name == "_" {
@@ -421,11 +403,12 @@ func (a *analysis) trackedIdent(e ast.Expr, st state) *types.Var {
 	return v
 }
 
-// isSafeReadCall recognizes calls to functions or methods named SafeRead
-// or safeRead that return a single pointer.
-func (a *analysis) isSafeReadCall(call *ast.CallExpr) bool {
-	name := calleeName(a.pass, call)
-	if name != "SafeRead" && name != "safeRead" {
+// isAcquireCall recognizes the acquisition intrinsics: calls named
+// SafeRead, safeRead, Alloc, or alloc returning a single pointer.
+func (a *analysis) isAcquireCall(call *ast.CallExpr) bool {
+	switch calleeName(call) {
+	case "SafeRead", "safeRead", "Alloc", "alloc":
+	default:
 		return false
 	}
 	tv, ok := a.pass.TypesInfo.Types[call]
@@ -437,7 +420,7 @@ func (a *analysis) isSafeReadCall(call *ast.CallExpr) bool {
 }
 
 // calleeName returns the simple name of the called function or method.
-func calleeName(pass *framework.Pass, call *ast.CallExpr) string {
+func calleeName(call *ast.CallExpr) string {
 	switch fun := unparen(call.Fun).(type) {
 	case *ast.SelectorExpr:
 		return fun.Sel.Name

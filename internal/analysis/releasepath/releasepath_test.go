@@ -1,0 +1,12 @@
+package releasepath_test
+
+import (
+	"testing"
+
+	"valois/internal/analysis/analysistest"
+	"valois/internal/analysis/releasepath"
+)
+
+func TestReleasePath(t *testing.T) {
+	analysistest.Run(t, "testdata", releasepath.Analyzer, "a")
+}

@@ -1,0 +1,190 @@
+// Package a is the releasepath fixture: every exit path of a function —
+// the happy return, the early error return, the fall-through end, and
+// the panic — must release or transfer every reference acquired on it.
+package a
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+type node struct {
+	next atomic.Pointer[node]
+	ref  atomic.Int64
+	item int
+}
+
+type mgr struct {
+	head atomic.Pointer[node]
+	free atomic.Pointer[node]
+}
+
+var errEmpty = errors.New("empty")
+
+// SafeRead acquires a counted reference (Figure 15 shape).
+func (m *mgr) SafeRead(p *atomic.Pointer[node]) *node {
+	for {
+		q := p.Load()
+		if q == nil {
+			return nil
+		}
+		q.ref.Add(1)
+		if q == p.Load() {
+			return q
+		}
+		m.Release(q)
+	}
+}
+
+// Release drops a counted reference (Figure 16 shape).
+func (m *mgr) Release(n *node) {
+	if n != nil {
+		n.ref.Add(-1)
+	}
+}
+
+// Alloc pops a cell off the free list (the Figure 17 retry loop); its
+// result carries one reference.
+func (m *mgr) Alloc() *node {
+	for {
+		q := m.SafeRead(&m.free)
+		if q == nil {
+			return nil
+		}
+		if m.free.CompareAndSwap(q, q.next.Load()) {
+			return q
+		}
+		m.Release(q)
+	}
+}
+
+func check(v int) error {
+	if v < 0 {
+		return errEmpty
+	}
+	return nil
+}
+
+// earlyReturnLeak is the review-resistant bug this analyzer exists for:
+// the happy path releases, but the error return added later walks out
+// with the reference still counted.
+func earlyReturnLeak(m *mgr) (int, error) {
+	q := m.SafeRead(&m.head) // want `reference in q \(from SafeRead\) is not released or transferred on the exit path through the return at line 77`
+	if q == nil {
+		return 0, errEmpty
+	}
+	if err := check(q.item); err != nil {
+		return 0, err
+	}
+	v := q.item
+	m.Release(q)
+	return v, nil
+}
+
+// panicLeak abandons the reference on the panic exit: unwinding runs no
+// release, the count stays high forever, and the cell is unreclaimable.
+func panicLeak(m *mgr) int {
+	q := m.SafeRead(&m.head) // want `reference in q \(from SafeRead\) is lost when this path panics`
+	if q == nil {
+		return 0
+	}
+	if q.item < 0 {
+		panic("corrupt item")
+	}
+	v := q.item
+	m.Release(q)
+	return v
+}
+
+// fallThroughLeak forgets the release entirely and falls off the end.
+func fallThroughLeak(m *mgr) {
+	q := m.SafeRead(&m.head) // want `reference in q \(from SafeRead\) is not released or transferred when the function falls off its end`
+	if q == nil {
+		return
+	}
+	q.item++
+}
+
+// allocPanicLeak: Alloc results carry the same obligation.
+func allocPanicLeak(m *mgr, v int) {
+	n := m.Alloc() // want `reference in n \(from Alloc\) is lost when this path panics`
+	if n == nil {
+		return
+	}
+	if v < 0 {
+		panic("negative item")
+	}
+	n.item = v
+	m.Release(n)
+}
+
+// deferredCoversPanic is the prescribed fix for panicLeak: the deferred
+// release runs during unwinding, so every exit after the defer — panic
+// included — is balanced.
+func deferredCoversPanic(m *mgr) int {
+	q := m.SafeRead(&m.head)
+	if q == nil {
+		return 0
+	}
+	defer m.Release(q)
+	if q.item < 0 {
+		panic("corrupt item")
+	}
+	return q.item
+}
+
+// deferredClosureCoversExits releases through a deferred closure.
+func deferredClosureCoversExits(m *mgr) (int, error) {
+	q := m.SafeRead(&m.head)
+	if q == nil {
+		return 0, errEmpty
+	}
+	defer func() { m.Release(q) }()
+	if err := check(q.item); err != nil {
+		return 0, err
+	}
+	return q.item, nil
+}
+
+// everyPathBalanced releases on each exit explicitly.
+func everyPathBalanced(m *mgr) (int, error) {
+	q := m.SafeRead(&m.head)
+	if q == nil {
+		return 0, errEmpty
+	}
+	if err := check(q.item); err != nil {
+		m.Release(q)
+		return 0, err
+	}
+	v := q.item
+	m.Release(q)
+	return v, nil
+}
+
+// transferOnReturn hands the reference to the caller: not a leak.
+func transferOnReturn(m *mgr) *node {
+	q := m.SafeRead(&m.head)
+	return q
+}
+
+// transferToHelper passes the reference to a call that may assume
+// ownership — read broadly, so helpers are never falsely flagged.
+func transferToHelper(m *mgr, sink func(*node)) {
+	q := m.SafeRead(&m.head)
+	if q == nil {
+		return
+	}
+	sink(q)
+}
+
+// nilGuardedPanic panics only where the reference is proven nil: no
+// obligation rides the panic edge.
+func nilGuardedPanic(m *mgr) int {
+	q := m.SafeRead(&m.head)
+	if q == nil {
+		panic("empty structure")
+	}
+	v := q.item
+	m.Release(q)
+	return v
+}

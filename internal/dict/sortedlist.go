@@ -90,7 +90,6 @@ func (s *SortedList[K, V]) Find(key K) (V, bool) {
 func (s *SortedList[K, V]) Insert(key K, value V) bool {
 	c := s.list.NewCursor() // Fig 12 line 1
 	defer c.Close()
-	//lfcheck:allow refbalance AllocInsertNodes returns both nodes or neither, so q == nil implies a == nil and the early return releases nothing
 	q, a := s.list.AllocInsertNodes(Entry[K, V]{Key: key, Value: value}) // Fig 12 lines 2-4
 	if q == nil {
 		return false // capacity exhausted (only with a bounded RC manager)

@@ -260,7 +260,6 @@ func (s *SkipList[K, V]) Insert(key K, value V) bool {
 	// vantage point.
 	base := s.levels[0]
 	c := s.cursorFor(0, preds[0])
-	//lfcheck:allow refbalance AllocInsertNodes returns both nodes or neither, so q == nil implies a == nil and the early return releases nothing
 	q, a := base.AllocInsertNodes(item[K, V]{Key: key, Value: value})
 	if q == nil {
 		c.Close()
@@ -293,7 +292,6 @@ func (s *SkipList[K, V]) Insert(key K, value V) bool {
 		}
 		lvl := s.levels[i]
 		m.AddRef(below) // counted: the Down pointer stored in the new cell
-		//lfcheck:allow refbalance AllocInsertNodes returns both nodes or neither, so iq == nil implies ia == nil and the break path releases nothing
 		iq, ia := lvl.AllocInsertNodes(item[K, V]{Key: key, Down: below})
 		if iq == nil {
 			m.Release(below)
