@@ -27,7 +27,7 @@ CONNS ?= 64
 LOAD_DURATION ?= 10s
 
 .PHONY: build test race lint lint-json lint-sarif lint-debt lint-strict \
-	fuzz-short fmt-check bench-quick serve loadgen smoke chaos
+	fuzz-short fmt-check bench-quick serve loadgen smoke chaos durability
 
 build:
 	$(GO) build ./...
@@ -82,6 +82,7 @@ fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzParseCommand -fuzztime=$(FUZZTIME) ./internal/proto
 	$(GO) test -run='^$$' -fuzz=FuzzReadReply -fuzztime=$(FUZZTIME) ./internal/proto
 	$(GO) test -run='^$$' -fuzz=FuzzCommandRoundTrip -fuzztime=$(FUZZTIME) ./internal/proto
+	$(GO) test -run='^$$' -fuzz=FuzzAOFRecord -fuzztime=$(FUZZTIME) ./internal/persist
 
 # serve runs valoisd in the foreground; stop it with Ctrl-C or SIGTERM
 # (both drain in-flight requests before exiting).
@@ -99,6 +100,18 @@ loadgen:
 smoke:
 	SMOKE_CONNS=$(CONNS) SMOKE_BACKEND=$(BACKEND) SMOKE_MODE=$(MODE) \
 		sh scripts/smoke.sh
+
+# durability runs the persistence layer end to end, race-enabled: the
+# AOF/snapshot unit and torn-tail tests, the snapshot-under-mutation
+# scans, the in-process recovery round-trips, and the crash-restart
+# chaos matrix (SIGKILL a real valoisd mid-run, restart from disk,
+# check the merged history for linearizability — see
+# internal/server/crashrestart_test.go).
+durability:
+	VALOIS_STRESS_DIV=$(RACE_STRESS_DIV) $(GO) test -race -count=1 ./internal/persist
+	VALOIS_STRESS_DIV=$(RACE_STRESS_DIV) $(GO) test -race -count=1 -timeout 15m \
+		-run 'TestCrashRestart|TestServerRecovery|TestServerSnapshot|TestServerPersistStats' \
+		./internal/server
 
 # chaos runs the fault-injection suite race-enabled: every backend ×
 # memory mode through the faultnet proxy with client histories checked

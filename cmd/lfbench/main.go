@@ -55,7 +55,7 @@ func run(args []string) error {
 		for _, id := range strings.Split(*which, ",") {
 			r, ok := experiments.Lookup(strings.TrimSpace(id))
 			if !ok {
-				return fmt.Errorf("unknown experiment %q (valid: E1..E10)", id)
+				return fmt.Errorf("unknown experiment %q (valid: E1..E10, A1..A3, persist)", id)
 			}
 			runners = append(runners, r)
 		}

@@ -34,6 +34,7 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -71,6 +72,14 @@ type report struct {
 	ProtocolErrors int64   `json:"protocol_errors"`
 	LatP50Micros   int64   `json:"lat_p50_us"`
 	LatP99Micros   int64   `json:"lat_p99_us"`
+
+	// Server-side durability counters, scraped from STATS when the run
+	// ends (all zero when the server runs without -aof).
+	AOFRecords       int64 `json:"aof_records"`
+	AOFBytes         int64 `json:"aof_bytes"`
+	AOFFsyncs        int64 `json:"aof_fsyncs"`
+	SnapshotRuns     int64 `json:"snapshot_runs"`
+	RecoveryReplayed int64 `json:"recovery_replayed"`
 
 	// Chaos-mode fields, populated only when -chaos is set.
 	Chaos          bool  `json:"chaos,omitempty"`
@@ -288,6 +297,22 @@ func run(args []string, out, errw io.Writer) int {
 	fmt.Fprintf(out, "  latency p50=%dµs p99=%dµs; errors: network=%d protocol=%d\n",
 		r.LatP50Micros, r.LatP99Micros, r.NetErrors, r.ProtocolErrors)
 
+	// Durability counters come from the server directly (not through the
+	// chaos proxy, which may be poisoning connections).
+	if ps, err := fetchPersistStats(*addr, *timeout); err != nil {
+		fmt.Fprintf(errw, "lfload: post-run STATS fetch failed: %v\n", err)
+	} else {
+		r.AOFRecords = ps["aof_records"]
+		r.AOFBytes = ps["aof_bytes"]
+		r.AOFFsyncs = ps["aof_fsyncs"]
+		r.SnapshotRuns = ps["snapshot_runs"]
+		r.RecoveryReplayed = ps["recovery_replayed"]
+		if r.AOFRecords > 0 || r.RecoveryReplayed > 0 {
+			fmt.Fprintf(out, "  durability: aof_records=%d aof_bytes=%d aof_fsyncs=%d snapshot_runs=%d recovery_replayed=%d\n",
+				r.AOFRecords, r.AOFBytes, r.AOFFsyncs, r.SnapshotRuns, r.RecoveryReplayed)
+		}
+	}
+
 	chaosViolation := false
 	if hist != nil {
 		snap := proxy.Stats().Snapshot()
@@ -339,6 +364,29 @@ func run(args []string, out, errw io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// fetchPersistStats reads the durability counters over a clean direct
+// connection once the run is over.
+func fetchPersistStats(addr string, timeout time.Duration) (map[string]int64, error) {
+	c, err := client.Dial(addr, client.Options{ConnectTimeout: timeout, OpTimeout: timeout})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	stats, err := c.Stats()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int64)
+	for _, name := range []string{"aof_records", "aof_bytes", "aof_fsyncs", "snapshot_runs", "recovery_replayed"} {
+		v, err := strconv.ParseInt(stats[name], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("STATS %s = %q: %w", name, stats[name], err)
+		}
+		out[name] = v
+	}
+	return out, nil
 }
 
 // doPrefill stores n distinct keys with one pipelined connection.

@@ -1,0 +1,109 @@
+// Command valoisctl is a one-shot client for valoisd, small enough for
+// shell scripts and smoke tests to drive the server without a redis-cli
+// equivalent:
+//
+//	valoisctl [-addr 127.0.0.1:11311] set KEY VALUE
+//	valoisctl [-addr ...] get KEY        # prints the value; exit 1 on miss
+//	valoisctl [-addr ...] delete KEY     # exit 1 on miss
+//	valoisctl [-addr ...] stats          # prints NAME VALUE per line
+//
+// Exit codes: 0 success, 1 miss (get/delete on an absent key), 2 usage or
+// transport error — so `valoisctl get k` is a crisp durability probe:
+// scripts/smoke.sh SIGKILLs valoisd, restarts it, and asserts the value
+// a pre-kill `valoisctl set` stored is still there.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"valois/internal/client"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("valoisctl", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	addr := fs.String("addr", "127.0.0.1:11311", "valoisd address")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-operation timeout")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fmt.Fprintln(errw, "valoisctl: usage: valoisctl [-addr HOST:PORT] set|get|delete|stats ...")
+		return 2
+	}
+	c, err := client.Dial(*addr, client.Options{ConnectTimeout: *timeout, OpTimeout: *timeout})
+	if err != nil {
+		fmt.Fprintln(errw, "valoisctl:", err)
+		return 2
+	}
+	defer c.Close()
+
+	bad := func(format string, a ...any) int {
+		fmt.Fprintf(errw, "valoisctl: "+format+"\n", a...)
+		return 2
+	}
+	switch cmd, n := rest[0], len(rest)-1; cmd {
+	case "set":
+		if n != 2 {
+			return bad("set needs KEY VALUE")
+		}
+		if err := c.Set(rest[1], []byte(rest[2])); err != nil {
+			return bad("set: %v", err)
+		}
+		return 0
+	case "get":
+		if n != 1 {
+			return bad("get needs KEY")
+		}
+		v, found, err := c.Get(rest[1])
+		if err != nil {
+			return bad("get: %v", err)
+		}
+		if !found {
+			return 1
+		}
+		fmt.Fprintf(out, "%s\n", v)
+		return 0
+	case "delete":
+		if n != 1 {
+			return bad("delete needs KEY")
+		}
+		deleted, err := c.Delete(rest[1])
+		if err != nil {
+			return bad("delete: %v", err)
+		}
+		if !deleted {
+			return 1
+		}
+		return 0
+	case "stats":
+		if n != 0 {
+			return bad("stats takes no arguments")
+		}
+		stats, err := c.Stats()
+		if err != nil {
+			return bad("stats: %v", err)
+		}
+		names := make([]string, 0, len(stats))
+		for name := range stats {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(out, "%s %s\n", name, stats[name])
+		}
+		return 0
+	default:
+		return bad("unknown command %q (set, get, delete, stats)", cmd)
+	}
+}

@@ -8,9 +8,16 @@
 //
 //	valoisd [-addr :11311] [-backend skiplist] [-mode gc] [-shards 16]
 //	        [-buckets 1024] [-gomaxprocs N]
+//	        [-aof -data-dir DIR [-fsync always|everysec|no] [-snapshot-interval 5m]]
+//
+// With -aof, every mutation is appended to an append-only log under
+// -data-dir and state is recovered from it (latest snapshot + log tail)
+// at startup; -snapshot-interval > 0 compacts the log in the background
+// with lock-free cursor-scan snapshots that never block writers.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes,
-// in-flight requests drain, and the process exits 0.
+// in-flight requests drain, the log is flushed and fsynced, and the
+// process exits 0.
 package main
 
 import (
@@ -54,6 +61,10 @@ func run(args []string, logw io.Writer, onReady func(net.Addr)) int {
 		readTO     = fs.Duration("read-timeout", server.DefaultReadTimeout, "per-command read deadline (negative disables)")
 		writeTO    = fs.Duration("write-timeout", server.DefaultWriteTimeout, "per-reply write deadline (negative disables)")
 		maxConns   = fs.Int("max-conns", 0, "max concurrent connections, over-cap dials are rejected (0 = unlimited)")
+		aof        = fs.Bool("aof", false, "enable the append-only log (requires -data-dir)")
+		dataDir    = fs.String("data-dir", "", "directory for the append-only log and snapshots")
+		fsync      = fs.String("fsync", "everysec", "AOF fsync policy: always, everysec, or no")
+		snapEvery  = fs.Duration("snapshot-interval", 0, "background snapshot compaction interval (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -61,8 +72,12 @@ func run(args []string, logw io.Writer, onReady func(net.Addr)) int {
 	if *gomaxprocs > 0 {
 		runtime.GOMAXPROCS(*gomaxprocs)
 	}
+	if *aof && *dataDir == "" {
+		fmt.Fprintln(logw, "valoisd: -aof requires -data-dir")
+		return 2
+	}
 
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		Backend:      *backend,
 		Mode:         *mode,
 		Shards:       *shards,
@@ -72,10 +87,21 @@ func run(args []string, logw io.Writer, onReady func(net.Addr)) int {
 		WriteTimeout: *writeTO,
 		MaxConns:     *maxConns,
 		Logf:         func(format string, a ...any) { fmt.Fprintf(logw, "valoisd: "+format+"\n", a...) },
-	})
+	}
+	if *aof {
+		cfg.PersistDir = *dataDir
+		cfg.FsyncPolicy = *fsync
+		cfg.SnapshotInterval = *snapEvery
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		fmt.Fprintln(logw, "valoisd:", err)
 		return 1
+	}
+	if *aof {
+		rec := srv.Recovery()
+		fmt.Fprintf(logw, "valoisd: durability on (dir=%s fsync=%s snapshot-interval=%s): recovered %d records (snapshot gen %d: %d, aof tail: %d, torn tail: %v)\n",
+			*dataDir, *fsync, *snapEvery, rec.Replayed(), rec.SnapshotGen, rec.SnapshotRecords, rec.TailRecords, rec.TornTail)
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -139,6 +139,7 @@ func All() []Runner {
 		{ID: "A1", Name: "ablation: retry backoff", Run: A1},
 		{ID: "A2", Name: "ablation: aux-pair removal", Run: A2},
 		{ID: "A3", Name: "ablation: free-list batch size", Run: A3},
+		{ID: "persist", Name: "durability cost: AOF fsync policies", Run: Persist},
 	}
 }
 

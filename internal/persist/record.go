@@ -1,0 +1,148 @@
+// Package persist is valoisd's durability subsystem: an append-only log
+// (AOF) of mutations plus snapshot compaction, both built from the same
+// CRC-framed record format whose payloads are the canonical wire
+// encoding of internal/proto commands. The text protocol is already a
+// replayable command log, so recovery is literally "parse the wire
+// bytes again": load the newest snapshot (a sequence of SET records),
+// then replay the AOF tail through proto.ReadCommand.
+//
+// Crash tolerance follows the append-only discipline:
+//
+//   - A truncated FINAL record — the write that was in flight when the
+//     process died — is expected and silently dropped (and the file is
+//     truncated back to the last intact record so later appends cannot
+//     manufacture interior garbage).
+//   - A corrupted INTERIOR record is a hard error: appends never rewrite
+//     earlier bytes, so interior damage means the storage lied, and
+//     serving from a log with a hole would silently resurrect or lose
+//     acknowledged writes.
+//
+// Snapshots are written to a temporary file and installed with an atomic
+// rename, so a half-written snapshot is never observed by recovery.
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"valois/internal/proto"
+)
+
+// Record framing: an 8-byte little-endian header (payload length, then
+// IEEE CRC-32 of the payload) followed by the payload bytes. The CRC
+// covers only the payload; the length is implicitly validated by the
+// bound check and by the CRC of the bytes it delimits.
+const (
+	recordHeaderLen = 8
+
+	// MaxRecordPayload bounds a record payload: the largest legal command
+	// encoding (a SET of a MaxValueLen value) plus slack for its header
+	// line. A length field above this is not a record.
+	MaxRecordPayload = proto.MaxValueLen + 512
+)
+
+// ErrTornTail marks a final record that is incomplete or fails its CRC:
+// the append that was in flight at the crash. Recovery drops it.
+var ErrTornTail = errors.New("persist: torn final record")
+
+// CorruptError reports a damaged interior record — a hard recovery error
+// (see the package comment).
+type CorruptError struct {
+	Offset int64 // file offset of the record's header
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("persist: corrupt record at offset %d: %s", e.Offset, e.Reason)
+}
+
+// AppendRecord appends one framed record carrying payload to dst.
+func AppendRecord(dst, payload []byte) []byte {
+	var hdr [recordHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// RecordScanner reads framed records sequentially. After a nil-error
+// Next, Offset reports where the next record would start — the "intact
+// prefix length" used to truncate a torn tail away.
+type RecordScanner struct {
+	r      *bufio.Reader
+	offset int64 // offset of the next unread byte (= end of last good record)
+	buf    []byte
+}
+
+// NewRecordScanner scans records from r, which reads from offset 0 of
+// the underlying file.
+func NewRecordScanner(r io.Reader) *RecordScanner {
+	return &RecordScanner{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// Offset returns the file offset just past the last successfully
+// scanned record (0 before the first).
+func (s *RecordScanner) Offset() int64 { return s.offset }
+
+// Next returns the next record's payload. The returned slice is only
+// valid until the following Next call. Errors:
+//
+//   - io.EOF        — clean end of log
+//   - ErrTornTail   — the final record is truncated or fails its CRC
+//   - *CorruptError — a record before the end of the log is damaged
+//   - other         — underlying read errors
+//
+// The torn/corrupt distinction is positional: damage is tolerated only
+// in a record that extends to the end of the input (the crash window);
+// anything with intact bytes after it was sealed by later appends and
+// must verify.
+func (s *RecordScanner) Next() ([]byte, error) {
+	start := s.offset
+	var hdr [recordHeaderLen]byte
+	n, err := io.ReadFull(s.r, hdr[:])
+	if n == 0 && err == io.EOF {
+		return nil, io.EOF
+	}
+	if err == io.ErrUnexpectedEOF || (err == io.EOF && n > 0) {
+		return nil, ErrTornTail // partial header at end of log
+	}
+	if err != nil {
+		return nil, err
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	wantCRC := binary.LittleEndian.Uint32(hdr[4:8])
+	if length > MaxRecordPayload {
+		// The length field cannot be trusted to delimit a next record.
+		// If the claimed payload would run past the end of the input this
+		// is the torn tail; otherwise the log is corrupt mid-stream.
+		if _, err := s.r.Peek(1); err == io.EOF {
+			return nil, ErrTornTail
+		}
+		return nil, &CorruptError{Offset: start, Reason: fmt.Sprintf("payload length %d exceeds %d", length, MaxRecordPayload)}
+	}
+	if cap(s.buf) < int(length) {
+		s.buf = make([]byte, length)
+	}
+	payload := s.buf[:length]
+	if _, err := io.ReadFull(s.r, payload); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, ErrTornTail // payload shorter than its header claims
+		}
+		return nil, err
+	}
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		// Bad CRC on the very last record of the file is the torn-tail
+		// case (a partially persisted payload whose length header made it
+		// to disk); bad CRC with more data after it is interior damage.
+		if _, err := s.r.Peek(1); err == io.EOF {
+			return nil, ErrTornTail
+		}
+		return nil, &CorruptError{Offset: start, Reason: fmt.Sprintf("crc mismatch: stored %08x, computed %08x", wantCRC, got)}
+	}
+	s.offset += int64(recordHeaderLen) + int64(length)
+	return payload, nil
+}

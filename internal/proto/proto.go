@@ -254,28 +254,66 @@ func ReadCommand(r *bufio.Reader) (Command, error) {
 	}
 }
 
+// AppendCommand appends the canonical wire encoding of c to dst and
+// returns the extended slice. This is THE single-command encoder: the
+// client's WriteCommand delegates to it, and the durability layer
+// (internal/persist) frames its output as AOF and snapshot records — so
+// a log record is byte-for-byte what the wire would carry, and replay is
+// the same ReadCommand path the server already trusts.
+func AppendCommand(dst []byte, c Command) ([]byte, error) {
+	switch c.Verb {
+	case VerbGet, VerbDelete:
+		dst = append(dst, c.Verb.String()...)
+		dst = append(dst, ' ')
+		dst = append(dst, c.Key...)
+		dst = append(dst, "\r\n"...)
+	case VerbSet:
+		dst = append(dst, "SET "...)
+		dst = append(dst, c.Key...)
+		dst = append(dst, ' ')
+		dst = strconv.AppendInt(dst, int64(len(c.Value)), 10)
+		dst = append(dst, "\r\n"...)
+		dst = append(dst, c.Value...)
+		dst = append(dst, "\r\n"...)
+	case VerbRange:
+		dst = append(dst, "RANGE "...)
+		dst = append(dst, c.Key...)
+		dst = append(dst, ' ')
+		dst = strconv.AppendInt(dst, int64(c.Count), 10)
+		dst = append(dst, "\r\n"...)
+	case VerbStats:
+		dst = append(dst, "STATS\r\n"...)
+	case VerbQuit:
+		dst = append(dst, "QUIT\r\n"...)
+	default:
+		return dst, fmt.Errorf("proto: invalid verb %d", int(c.Verb))
+	}
+	return dst, nil
+}
+
+// DecodeCommand parses one complete command encoding (the output of
+// AppendCommand), requiring that it consumes the whole buffer. It is the
+// decode half used by AOF/snapshot replay.
+func DecodeCommand(payload []byte) (Command, error) {
+	r := bufio.NewReader(bytes.NewReader(payload))
+	c, err := ReadCommand(r)
+	if err != nil {
+		return Command{}, err
+	}
+	if _, err := r.Peek(1); err != io.EOF {
+		return Command{}, errors.New("proto: trailing bytes after command")
+	}
+	return c, nil
+}
+
 // WriteCommand writes one request in wire form (the client side of
 // ReadCommand). The caller flushes.
 func WriteCommand(w *bufio.Writer, c Command) error {
-	var err error
-	switch c.Verb {
-	case VerbGet, VerbDelete:
-		_, err = fmt.Fprintf(w, "%s %s\r\n", c.Verb, c.Key)
-	case VerbSet:
-		if _, err = fmt.Fprintf(w, "SET %s %d\r\n", c.Key, len(c.Value)); err == nil {
-			if _, err = w.Write(c.Value); err == nil {
-				_, err = w.WriteString("\r\n")
-			}
-		}
-	case VerbRange:
-		_, err = fmt.Fprintf(w, "RANGE %s %d\r\n", c.Key, c.Count)
-	case VerbStats:
-		_, err = w.WriteString("STATS\r\n")
-	case VerbQuit:
-		_, err = w.WriteString("QUIT\r\n")
-	default:
-		return fmt.Errorf("proto: invalid verb %d", int(c.Verb))
+	buf, err := AppendCommand(nil, c)
+	if err != nil {
+		return err
 	}
+	_, err = w.Write(buf)
 	return err
 }
 

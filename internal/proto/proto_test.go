@@ -207,3 +207,61 @@ func TestReplyErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestAppendCommandCanonical pins the canonical encoder: AppendCommand's
+// bytes must round-trip through DecodeCommand unchanged, and WriteCommand
+// (which delegates to it) must produce identical bytes — the AOF replay
+// path and the wire path are the same encoding by construction.
+func TestAppendCommandCanonical(t *testing.T) {
+	cmds := []Command{
+		{Verb: VerbGet, Key: "k"},
+		{Verb: VerbSet, Key: "k", Value: []byte("hello")},
+		{Verb: VerbSet, Key: "k", Value: nil},
+		{Verb: VerbSet, Key: "k", Value: []byte("line\r\nbreak")},
+		{Verb: VerbDelete, Key: "a-key"},
+		{Verb: VerbRange, Key: "start", Count: 42},
+		{Verb: VerbStats},
+		{Verb: VerbQuit},
+	}
+	for _, c := range cmds {
+		enc, err := AppendCommand(nil, c)
+		if err != nil {
+			t.Fatalf("AppendCommand(%v): %v", c.Verb, err)
+		}
+		var buf bytes.Buffer
+		bw := bufio.NewWriter(&buf)
+		if err := WriteCommand(bw, c); err != nil {
+			t.Fatalf("WriteCommand(%v): %v", c.Verb, err)
+		}
+		bw.Flush()
+		if !bytes.Equal(enc, buf.Bytes()) {
+			t.Errorf("%v: AppendCommand %q != WriteCommand %q", c.Verb, enc, buf.Bytes())
+		}
+		if c.Verb == VerbQuit {
+			continue // ReadCommand returns QUIT without consuming trailing state
+		}
+		got, err := DecodeCommand(enc)
+		if err != nil {
+			t.Fatalf("DecodeCommand(%q): %v", enc, err)
+		}
+		if got.Verb != c.Verb || got.Key != c.Key || got.Count != c.Count || !bytes.Equal(got.Value, c.Value) {
+			t.Errorf("round trip %v: got %+v, want %+v", c.Verb, got, c)
+		}
+	}
+}
+
+// TestDecodeCommandRejectsTrailing ensures a framed record holding more
+// than one command (or stray bytes) is rejected rather than silently
+// replaying only a prefix.
+func TestDecodeCommandRejectsTrailing(t *testing.T) {
+	enc, err := AppendCommand(nil, Command{Verb: VerbDelete, Key: "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeCommand(append(enc, "GET x\r\n"...)); err == nil {
+		t.Error("DecodeCommand accepted trailing bytes")
+	}
+	if _, err := DecodeCommand(nil); err == nil {
+		t.Error("DecodeCommand accepted empty payload")
+	}
+}

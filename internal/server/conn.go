@@ -176,15 +176,29 @@ func (s *Server) dispatch(bw *bufio.Writer, cmd proto.Command) (quit bool) {
 
 	case proto.VerbSet:
 		s.cmdSet.Add(1)
-		s.shardFor(cmd.Key).set(cmd.Key, cmd.Value)
-		proto.WriteLine(bw, proto.ReplyStored)
+		if err := s.applySet(cmd.Key, cmd.Value); err != nil {
+			// The apply happened but the log append failed: the outcome
+			// is indeterminate for the client (see persist.go), so answer
+			// SERVER_ERROR rather than STORED.
+			s.persistErrs.Add(1)
+			s.cfg.Logf("persist append: %v", err)
+			proto.WriteServerError(bw, "durability failure")
+		} else {
+			proto.WriteLine(bw, proto.ReplyStored)
+		}
 
 	case proto.VerbDelete:
 		s.cmdDelete.Add(1)
-		if s.shardFor(cmd.Key).d.Delete(cmd.Key) {
+		deleted, err := s.applyDelete(cmd.Key)
+		switch {
+		case err != nil:
+			s.persistErrs.Add(1)
+			s.cfg.Logf("persist append: %v", err)
+			proto.WriteServerError(bw, "durability failure")
+		case deleted:
 			s.deleteHits.Add(1)
 			proto.WriteLine(bw, proto.ReplyDeleted)
-		} else {
+		default:
 			s.deleteMisses.Add(1)
 			proto.WriteLine(bw, proto.ReplyNotFound)
 		}

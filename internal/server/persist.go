@@ -1,0 +1,167 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"valois/internal/persist"
+	"valois/internal/proto"
+)
+
+// Durability wiring. When Config.PersistDir is set, the server opens an
+// append-only log (internal/persist) at construction, recovers state
+// from it (latest snapshot + AOF tail), and from then on appends every
+// applied mutation to it.
+//
+// Ordering contract: the append happens AFTER the mutation is applied to
+// the shard, and both happen under that shard's logMu. The mutex is what
+// makes recovery linearizable — without it, two racing SETs of the same
+// key could apply in one order and land in the log in the other, and a
+// pre-crash GET that observed the first order would make the recovered
+// history unlinearizable. The mutex is per shard and taken only on the
+// mutation path, so GETs and RANGEs still run purely on the lock-free
+// structures, and mutations in different shards never serialize against
+// each other.
+//
+// If the append itself fails (disk full, log closed mid-shutdown), the
+// in-memory apply has already happened: memory and disk have diverged.
+// The client gets SERVER_ERROR — which the chaos harness records as a
+// Lost (indeterminate) operation, keeping its linearizability accounting
+// sound — and the divergence is counted in persist_errors.
+
+// openPersist is called by New when cfg.PersistDir is set: it replays
+// existing state into the freshly created shards and leaves the log open
+// for appends.
+func (s *Server) openPersist() error {
+	policy, err := persist.ParsePolicy(s.cfg.FsyncPolicy)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	log, info, err := persist.Open(s.cfg.PersistDir, policy, s.applyRecovered, s.cfg.Logf)
+	if err != nil {
+		return err
+	}
+	s.log = log
+	s.replayed.Store(int64(info.Replayed()))
+	s.recovery = info
+	return nil
+}
+
+// applyRecovered applies one replayed log record to the shards. It runs
+// during New, strictly before any connection exists, so it writes to the
+// dictionaries directly without logMu or re-appending.
+func (s *Server) applyRecovered(cmd proto.Command) error {
+	switch cmd.Verb {
+	case proto.VerbSet:
+		s.shardFor(cmd.Key).set(cmd.Key, cmd.Value)
+	case proto.VerbDelete:
+		s.shardFor(cmd.Key).d.Delete(cmd.Key)
+	default:
+		return fmt.Errorf("server: log record with non-mutation verb %s", cmd.Verb)
+	}
+	return nil
+}
+
+// applySet is the SET mutation path: apply to the shard, then append to
+// the log, both under the shard's logMu (see the ordering contract
+// above). Without persistence it is just the lock-free upsert.
+func (s *Server) applySet(key string, value []byte) error {
+	sh := s.shardFor(key)
+	if s.log == nil {
+		sh.set(key, value)
+		return nil
+	}
+	sh.logMu.Lock()
+	defer sh.logMu.Unlock()
+	sh.set(key, value)
+	return s.log.Append(proto.Command{Verb: proto.VerbSet, Key: key, Value: value})
+}
+
+// applyDelete is the DELETE mutation path. A miss mutates nothing and is
+// not logged.
+func (s *Server) applyDelete(key string) (deleted bool, err error) {
+	sh := s.shardFor(key)
+	if s.log == nil {
+		return sh.d.Delete(key), nil
+	}
+	sh.logMu.Lock()
+	defer sh.logMu.Unlock()
+	if !sh.d.Delete(key) {
+		return false, nil
+	}
+	return true, s.log.Append(proto.Command{Verb: proto.VerbDelete, Key: key})
+}
+
+// Snapshot runs one snapshot compaction cycle: rotate the AOF, then
+// stream every shard's live bindings into the snapshot file via the
+// backends' lock-free cursor scans (RangeFrom; the hash backend scans
+// bucket by bucket), and atomically install it. Writers are never
+// blocked — the scan starts after the rotation, which is exactly the
+// consistency contract persist.StartSnapshot documents.
+func (s *Server) Snapshot() error {
+	if s.log == nil {
+		return errors.New("server: persistence not enabled")
+	}
+	sw, err := s.log.StartSnapshot()
+	if err != nil {
+		return err
+	}
+	for _, sh := range s.shards {
+		var addErr error
+		sh.snap(func(k string, v []byte) bool {
+			addErr = sw.Add(k, v)
+			return addErr == nil
+		})
+		if addErr != nil {
+			sw.Abort()
+			return addErr
+		}
+	}
+	return sw.Commit()
+}
+
+// snapshotLoop runs Snapshot every cfg.SnapshotInterval until Shutdown
+// closes snapStop. Failures are logged and the loop keeps going: a
+// failed snapshot leaves the rotated AOF chain intact and replayable.
+func (s *Server) snapshotLoop() {
+	defer s.snapWG.Done()
+	t := time.NewTicker(s.cfg.SnapshotInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.snapStop:
+			return
+		case <-t.C:
+			if err := s.Snapshot(); err != nil {
+				s.cfg.Logf("snapshot: %v", err)
+			}
+		}
+	}
+}
+
+// stopSnapshots halts the background snapshot loop and waits for any
+// in-flight snapshot to finish, so the log can be closed safely.
+func (s *Server) stopSnapshots() {
+	s.snapStopOnce.Do(func() { close(s.snapStop) })
+	s.snapWG.Wait()
+}
+
+// persistStats contributes the durability lines to STATS. All zeros with
+// persistence disabled, so clients can probe unconditionally.
+func (s *Server) persistStats() []Stat {
+	var ps persist.Stats
+	if s.log != nil {
+		ps = s.log.Stats()
+	}
+	n := func(v int64) string { return fmt.Sprintf("%d", v) }
+	return []Stat{
+		{"aof_records", n(ps.Records)},
+		{"aof_bytes", n(ps.Bytes)},
+		{"aof_fsyncs", n(ps.Fsyncs)},
+		{"snapshot_runs", n(ps.SnapshotRuns)},
+		{"snapshot_last_unix", n(ps.SnapshotLastUnix)},
+		{"recovery_replayed", n(s.replayed.Load())},
+		{"persist_errors", n(s.persistErrs.Load())},
+	}
+}

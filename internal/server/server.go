@@ -30,6 +30,7 @@ import (
 	"valois/internal/bst"
 	"valois/internal/dict"
 	"valois/internal/mm"
+	"valois/internal/persist"
 	"valois/internal/primitive"
 	"valois/internal/skiplist"
 )
@@ -84,6 +85,22 @@ type Config struct {
 	// Default 0 = unlimited.
 	MaxConns int
 
+	// PersistDir, when non-empty, enables durability: state is recovered
+	// from this directory at New (latest snapshot + append-only log
+	// tail) and every applied mutation is appended to the log from then
+	// on. Empty (the default) keeps the server purely in-memory.
+	PersistDir string
+	// FsyncPolicy selects when the append-only log is fsynced:
+	// "always" (before each mutation's reply), "everysec" (background,
+	// the default), or "no" (leave it to the OS). Only meaningful with
+	// PersistDir set.
+	FsyncPolicy string
+	// SnapshotInterval, when positive, runs background snapshot
+	// compaction every interval while serving. Zero disables; the log
+	// then grows until Snapshot is called explicitly. Only meaningful
+	// with PersistDir set.
+	SnapshotInterval time.Duration
+
 	// Logf, if set, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -108,6 +125,16 @@ type shard struct {
 	mem   func() mm.Stats // §5 manager counters
 	size  func() int      // snapshot item count
 	close func()          // release cells (required under RC)
+
+	// snap streams the shard's live bindings through emit (stopping when
+	// emit returns false) via the backend's lock-free cursor scan; the
+	// hash backend iterates bucket by bucket.
+	snap func(emit func(key string, value []byte) bool)
+
+	// logMu serializes apply+append on the mutation path when
+	// persistence is enabled, so the log's record order matches the
+	// linearization order of same-shard mutations (see persist.go).
+	logMu sync.Mutex
 }
 
 // Server is a valoisd instance. Create with New, start with Serve or
@@ -126,6 +153,17 @@ type Server struct {
 	wg sync.WaitGroup // live connection handlers
 
 	closeShards sync.Once
+
+	// Durability state (see persist.go); log is nil when PersistDir is
+	// empty and every field below then stays at its zero value.
+	log          *persist.Log
+	recovery     persist.RecoveryInfo
+	replayed     atomic.Int64
+	persistErrs  atomic.Int64
+	snapStop     chan struct{}
+	snapStopOnce sync.Once
+	snapStart    sync.Once
+	snapWG       sync.WaitGroup
 
 	// panicHook, when set (tests only), runs inside dispatch so panic
 	// isolation can be exercised without a real server bug.
@@ -185,11 +223,12 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: unknown memory mode %q (want gc or rc)", cfg.Mode)
 	}
 	s := &Server{
-		cfg:    cfg,
-		mode:   mode,
-		shards: make([]*shard, cfg.Shards),
-		start:  time.Now(),
-		conns:  make(map[*conn]struct{}),
+		cfg:      cfg,
+		mode:     mode,
+		shards:   make([]*shard, cfg.Shards),
+		start:    time.Now(),
+		conns:    make(map[*conn]struct{}),
+		snapStop: make(chan struct{}),
 	}
 	for i := range s.shards {
 		sh, err := newShard(cfg, mode)
@@ -198,6 +237,16 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.shards[i] = sh
 	}
+	if cfg.PersistDir != "" {
+		if err := s.openPersist(); err != nil {
+			s.closeShards.Do(func() {
+				for _, sh := range s.shards {
+					sh.close()
+				}
+			})
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
@@ -205,23 +254,54 @@ func newShard(cfg Config, mode mm.Mode) (*shard, error) {
 	switch cfg.Backend {
 	case BackendList:
 		d := dict.NewSortedList[string, []byte](mode)
-		return &shard{d: d, ord: d, mem: d.MemStats, size: d.Len, close: d.Close}, nil
+		return &shard{d: d, ord: d, snap: snapOrdered(d), mem: d.MemStats, size: d.Len, close: d.Close}, nil
 	case BackendHash:
 		d := dict.NewHash[string, []byte](cfg.Buckets, mode, dict.HashString)
-		return &shard{d: d, mem: d.MemStats, size: d.Len, close: d.Close}, nil
+		return &shard{d: d, snap: snapHash(d), mem: d.MemStats, size: d.Len, close: d.Close}, nil
 	case BackendSkipList:
 		d := skiplist.New[string, []byte](mode)
-		return &shard{d: d, ord: d, mem: d.MemStats, size: d.Len, close: d.Close}, nil
+		return &shard{d: d, ord: d, snap: snapOrdered(d), mem: d.MemStats, size: d.Len, close: d.Close}, nil
 	case BackendBST:
 		d := bst.New[string, []byte](mode)
-		return &shard{d: d, ord: d, mem: d.MemStats, size: d.Len, close: d.Close}, nil
+		return &shard{d: d, ord: d, snap: snapOrdered(d), mem: d.MemStats, size: d.Len, close: d.Close}, nil
 	default:
 		return nil, fmt.Errorf("server: unknown backend %q (want one of %v)", cfg.Backend, Backends())
 	}
 }
 
+// snapOrdered scans an ordered backend from the smallest key — one
+// traversal-consistent cursor walk (Fig 12/13 cursor plumbing).
+func snapOrdered(o ordered) func(func(string, []byte) bool) {
+	return func(emit func(string, []byte) bool) {
+		o.RangeFrom("", emit)
+	}
+}
+
+// snapHash scans the hash backend bucket by bucket; each bucket is a
+// sorted list with the same cursor-scan guarantees, so the snapshot is
+// per-bucket consistent (global order across buckets is irrelevant — the
+// snapshot is a set of SET records).
+func snapHash(h *dict.Hash[string, []byte]) func(func(string, []byte) bool) {
+	return func(emit func(string, []byte) bool) {
+		for i := 0; i < h.NumBuckets(); i++ {
+			cont := true
+			h.Bucket(i).RangeFrom("", func(k string, v []byte) bool {
+				cont = emit(k, v)
+				return cont
+			})
+			if !cont {
+				return
+			}
+		}
+	}
+}
+
 // Ordered reports whether the configured backend supports RANGE.
 func (s *Server) Ordered() bool { return s.shards[0].ord != nil }
+
+// Recovery reports what New recovered from PersistDir (zero value when
+// persistence is disabled or the directory was empty).
+func (s *Server) Recovery() persist.RecoveryInfo { return s.recovery }
 
 // shardFor hashes a key to its shard.
 func (s *Server) shardFor(key string) *shard {
@@ -277,6 +357,13 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 	s.ln = ln
 	s.mu.Unlock()
+
+	s.snapStart.Do(func() {
+		if s.log != nil && s.cfg.SnapshotInterval > 0 {
+			s.snapWG.Add(1)
+			go s.snapshotLoop()
+		}
+	})
 
 	for {
 		nc, err := ln.Accept()
@@ -377,9 +464,18 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 		err = ctx.Err()
 	}
+	// Handlers have drained (or been cut): no more appends are coming.
+	// Stop the snapshot loop, then close the log — Close flushes and
+	// fsyncs, so a graceful shutdown loses nothing even under fsync=no.
+	s.stopSnapshots()
 	s.closeShards.Do(func() {
 		for _, sh := range s.shards {
 			sh.close()
+		}
+		if s.log != nil {
+			if cerr := s.log.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
 		}
 	})
 	return err
@@ -447,6 +543,7 @@ func (s *Server) Stats() []Stat {
 		{"mm_steals", n(mem.Steals)},
 		{"mm_stripes", n(int64(mem.Stripes))},
 	}
+	stats = append(stats, s.persistStats()...)
 	for i, c := range perShard {
 		stats = append(stats, Stat{fmt.Sprintf("shard%d_items", i), n(int64(c))})
 	}

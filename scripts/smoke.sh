@@ -3,6 +3,9 @@
 # `make smoke` and CI: build valoisd and lfload, boot the server on an
 # ephemeral loopback port, drive it with >= 64 concurrent connections,
 # then SIGTERM the server and require a graceful (exit 0) drain.
+# A second phase smoke-tests durability: boot with -aof -fsync always,
+# store a key with valoisctl, SIGKILL the server, restart it on the same
+# data directory, and require the key back.
 #
 # Environment knobs:
 #   SMOKE_CONNS     concurrent lfload connections (default 64)
@@ -28,35 +31,37 @@ cleanup() {
 }
 trap cleanup EXIT INT TERM
 
-echo "smoke: building valoisd and lfload"
+echo "smoke: building valoisd, lfload, valoisctl"
 go build -o "$workdir/valoisd" ./cmd/valoisd
 go build -o "$workdir/lfload" ./cmd/lfload
+go build -o "$workdir/valoisctl" ./cmd/valoisctl
+
+# wait_addr LOGFILE PID: scrape the ephemeral "serving on <addr>" line.
+wait_addr() {
+    addr=
+    i=0
+    while [ $i -lt 50 ]; do
+        addr=$(sed -n 's/.*serving on \([0-9.:]*\) .*/\1/p' "$1" | head -n 1)
+        [ -n "$addr" ] && return 0
+        if ! kill -0 "$2" 2>/dev/null; then
+            echo "smoke: valoisd exited before serving:" >&2
+            cat "$1" >&2
+            return 1
+        fi
+        i=$((i + 1))
+        sleep 0.1
+    done
+    echo "smoke: timed out waiting for valoisd to listen:" >&2
+    cat "$1" >&2
+    return 1
+}
 
 echo "smoke: starting valoisd (backend=$BACKEND mode=$MODE)"
 "$workdir/valoisd" -addr 127.0.0.1:0 -backend "$BACKEND" -mode "$MODE" \
     >"$workdir/valoisd.log" 2>&1 &
 server_pid=$!
 
-# valoisd logs "serving on <addr>" once the listener is up; scrape the
-# ephemeral address from the log.
-addr=
-i=0
-while [ $i -lt 50 ]; do
-    addr=$(sed -n 's/.*serving on \([0-9.:]*\) .*/\1/p' "$workdir/valoisd.log" | head -n 1)
-    [ -n "$addr" ] && break
-    if ! kill -0 "$server_pid" 2>/dev/null; then
-        echo "smoke: valoisd exited before serving:" >&2
-        cat "$workdir/valoisd.log" >&2
-        exit 1
-    fi
-    i=$((i + 1))
-    sleep 0.1
-done
-if [ -z "$addr" ]; then
-    echo "smoke: timed out waiting for valoisd to listen:" >&2
-    cat "$workdir/valoisd.log" >&2
-    exit 1
-fi
+wait_addr "$workdir/valoisd.log" "$server_pid"
 
 echo "smoke: loading $addr with $CONNS connections for $DURATION"
 "$workdir/lfload" -addr "$addr" -conns "$CONNS" -d "$DURATION" \
@@ -83,6 +88,51 @@ server_pid=
 if [ "$status" -ne 0 ]; then
     echo "smoke: valoisd exited $status after SIGTERM, want 0:" >&2
     cat "$workdir/valoisd.log" >&2
+    exit 1
+fi
+
+# ---- durability phase: SET, SIGKILL, restart, GET ----------------------
+echo "smoke: durability — starting valoisd with -aof -fsync always"
+datadir="$workdir/data"
+"$workdir/valoisd" -addr 127.0.0.1:0 -backend "$BACKEND" -mode "$MODE" \
+    -aof -data-dir "$datadir" -fsync always \
+    >"$workdir/valoisd-aof.log" 2>&1 &
+server_pid=$!
+wait_addr "$workdir/valoisd-aof.log" "$server_pid"
+
+"$workdir/valoisctl" -addr "$addr" set smoke-durable survives-sigkill
+echo "smoke: durability — SIGKILL $server_pid (no graceful flush)"
+kill -KILL "$server_pid"
+set +e
+wait "$server_pid" 2>/dev/null
+set -e
+server_pid=
+
+echo "smoke: durability — restarting from $datadir"
+"$workdir/valoisd" -addr 127.0.0.1:0 -backend "$BACKEND" -mode "$MODE" \
+    -aof -data-dir "$datadir" -fsync always \
+    >"$workdir/valoisd-aof2.log" 2>&1 &
+server_pid=$!
+wait_addr "$workdir/valoisd-aof2.log" "$server_pid"
+
+got=$("$workdir/valoisctl" -addr "$addr" get smoke-durable) || {
+    echo "smoke: durable key missing after SIGKILL+restart:" >&2
+    cat "$workdir/valoisd-aof2.log" >&2
+    exit 1
+}
+if [ "$got" != "survives-sigkill" ]; then
+    echo "smoke: durable key came back as '$got', want 'survives-sigkill'" >&2
+    exit 1
+fi
+kill -TERM "$server_pid"
+set +e
+wait "$server_pid"
+status=$?
+set -e
+server_pid=
+if [ "$status" -ne 0 ]; then
+    echo "smoke: valoisd (aof) exited $status after SIGTERM, want 0:" >&2
+    cat "$workdir/valoisd-aof2.log" >&2
     exit 1
 fi
 
