@@ -25,9 +25,12 @@ BACKEND ?= skiplist
 MODE ?= rc
 CONNS ?= 64
 LOAD_DURATION ?= 10s
+PROTOCOL ?= text
+PIPELINE ?= 1
 
 .PHONY: build test race lint lint-json lint-sarif lint-debt lint-strict \
-	fuzz-short fmt-check bench-quick serve loadgen smoke chaos durability
+	fuzz-short fmt-check bench-quick serve loadgen smoke chaos durability \
+	bench-server
 
 build:
 	$(GO) build ./...
@@ -82,6 +85,8 @@ fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzParseCommand -fuzztime=$(FUZZTIME) ./internal/proto
 	$(GO) test -run='^$$' -fuzz=FuzzReadReply -fuzztime=$(FUZZTIME) ./internal/proto
 	$(GO) test -run='^$$' -fuzz=FuzzCommandRoundTrip -fuzztime=$(FUZZTIME) ./internal/proto
+	$(GO) test -run='^$$' -fuzz=FuzzRESPCommand -fuzztime=$(FUZZTIME) ./internal/proto
+	$(GO) test -run='^$$' -fuzz=FuzzRESPRoundTrip -fuzztime=$(FUZZTIME) ./internal/proto
 	$(GO) test -run='^$$' -fuzz=FuzzAOFRecord -fuzztime=$(FUZZTIME) ./internal/persist
 
 # serve runs valoisd in the foreground; stop it with Ctrl-C or SIGTERM
@@ -92,7 +97,15 @@ serve:
 # loadgen drives a running valoisd (see `make serve`) and writes
 # BENCH_server.json at the repo root.
 loadgen:
-	$(GO) run ./cmd/lfload -addr $(ADDR) -conns $(CONNS) -d $(LOAD_DURATION)
+	$(GO) run ./cmd/lfload -addr $(ADDR) -conns $(CONNS) -d $(LOAD_DURATION) \
+		-protocol $(PROTOCOL) -pipeline $(PIPELINE)
+
+# bench-server runs the four-arm serving benchmark (text/resp × batch
+# on/off) against a freshly built valoisd on an ephemeral port and
+# regenerates BENCH_server.json from the winning pipelined arm. See
+# scripts/bench_server.sh for knobs (BENCH_DURATION, BENCH_CONNS, ...).
+bench-server:
+	sh scripts/bench_server.sh
 
 # smoke builds both binaries, boots the server on an ephemeral loopback
 # port, sustains $(CONNS) connections, then checks SIGTERM drains to

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestHistBucketsMonotone(t *testing.T) {
+	for i := 1; i < histBuckets; i++ {
+		if histUpper[i] <= histUpper[i-1] {
+			t.Fatalf("bucket %d upper %v <= bucket %d upper %v", i, histUpper[i], i-1, histUpper[i-1])
+		}
+	}
+	if histUpper[0] != time.Microsecond {
+		t.Fatalf("first bucket upper = %v, want 1µs", histUpper[0])
+	}
+	if histUpper[histBuckets-1] < 5*time.Second {
+		t.Fatalf("last bucket upper = %v, want at least 5s of range", histUpper[histBuckets-1])
+	}
+}
+
+func TestHistBucketForInverts(t *testing.T) {
+	// Every bucket's own upper bound must map back into that bucket, and a
+	// value just above it into the next.
+	for i := 0; i < histBuckets-1; i++ {
+		if got := bucketFor(histUpper[i]); got != i {
+			t.Fatalf("bucketFor(upper[%d]=%v) = %d", i, histUpper[i], got)
+		}
+		if got := bucketFor(histUpper[i] + 1); got != i+1 {
+			t.Fatalf("bucketFor(upper[%d]+1) = %d, want %d", i, got, i+1)
+		}
+	}
+	if got := bucketFor(time.Minute); got != histBuckets-1 {
+		t.Fatalf("bucketFor(1m) = %d, want the overflow bucket %d", got, histBuckets-1)
+	}
+	if got := bucketFor(0); got != 0 {
+		t.Fatalf("bucketFor(0) = %d, want 0", got)
+	}
+}
+
+func TestHistPercentileAccuracy(t *testing.T) {
+	// Against a known uniform sample, the bucketed percentile must land
+	// within one bucket factor (2^(1/8) ≈ 1.09, rounded up by Ceil) of the
+	// exact value.
+	var h latHist
+	rng := rand.New(rand.NewSource(7))
+	samples := make([]time.Duration, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		d := time.Duration(1+rng.Intn(1_000_000)) * time.Microsecond
+		samples = append(samples, d)
+		h.add(d)
+	}
+	for _, p := range []float64{0.50, 0.99, 0.999} {
+		exact := exactPercentile(samples, p)
+		got := h.percentile(p)
+		lo := exact
+		hi := time.Duration(float64(exact)*1.10) + time.Microsecond
+		if got < lo || got > hi {
+			t.Errorf("p%.3f = %v, want within [%v, %v] (exact %v)", p, got, lo, hi, exact)
+		}
+	}
+}
+
+func TestHistAddNAndMerge(t *testing.T) {
+	var a, b latHist
+	a.addN(100*time.Microsecond, 64) // one pipelined batch of 64
+	b.add(10 * time.Millisecond)     // one slow op elsewhere
+	a.merge(&b)
+	if a.total != 65 {
+		t.Fatalf("total = %d, want 65", a.total)
+	}
+	// 64 of 65 observations sit at ~100µs: p50 reports that bucket, p999
+	// the slow outlier's.
+	if p := a.percentile(0.50); p < 100*time.Microsecond || p > 120*time.Microsecond {
+		t.Errorf("p50 = %v, want ~100µs", p)
+	}
+	if p := a.percentile(0.999); p < 10*time.Millisecond {
+		t.Errorf("p999 = %v, want >= 10ms", p)
+	}
+}
+
+func TestHistEmpty(t *testing.T) {
+	var h latHist
+	if got := h.percentile(0.99); got != 0 {
+		t.Fatalf("empty percentile = %v, want 0", got)
+	}
+}
+
+func exactPercentile(samples []time.Duration, p float64) time.Duration {
+	s := append([]time.Duration(nil), samples...)
+	for i := 1; i < len(s); i++ { // insertion sort, test-only
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[int(p*float64(len(s)-1))]
+}

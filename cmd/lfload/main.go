@@ -13,7 +13,15 @@
 //
 //	lfload -addr localhost:11311 [-conns 64] [-d 10s] [-mix mixed]
 //	       [-dist uniform] [-keyspace 16384] [-prefill 0] [-seed 1]
-//	       [-json BENCH_server.json]
+//	       [-protocol text] [-pipeline 1] [-json BENCH_server.json]
+//
+// -protocol selects the wire protocol (text or resp). -pipeline N > 1
+// switches each connection from closed-loop one-at-a-time operation to
+// pipelined batches of N commands per round trip, which is what the
+// server's batched executor is built for; the batch round trip is
+// attributed to every operation in it. Latency percentiles come from a
+// fixed-bucket geometric histogram (hist.go), so p999 is meaningful even
+// on runs with tens of millions of operations.
 //
 // lfload exits 1 if any operation failed or drew a protocol error; a
 // clean run means every connection sustained the full workload.
@@ -33,7 +41,6 @@ import (
 	"io"
 	"math/rand"
 	"os"
-	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -61,6 +68,8 @@ type report struct {
 	Dist           string  `json:"dist"`
 	KeySpace       int     `json:"keyspace"`
 	Prefill        int     `json:"prefill"`
+	Protocol       string  `json:"protocol"`
+	Pipeline       int     `json:"pipeline"`
 	Ops            int64   `json:"ops"`
 	OpsPerSec      float64 `json:"ops_per_sec"`
 	Gets           int64   `json:"gets"`
@@ -72,6 +81,12 @@ type report struct {
 	ProtocolErrors int64   `json:"protocol_errors"`
 	LatP50Micros   int64   `json:"lat_p50_us"`
 	LatP99Micros   int64   `json:"lat_p99_us"`
+	LatP999Micros  int64   `json:"lat_p999_us"`
+
+	// Server-side wire counters, scraped from STATS when the run ends:
+	// total bytes the server read and wrote across all connections.
+	BytesIn  int64 `json:"bytes_in"`
+	BytesOut int64 `json:"bytes_out"`
 
 	// Server-side durability counters, scraped from STATS when the run
 	// ends (all zero when the server runs without -aof).
@@ -101,6 +116,8 @@ func run(args []string, out, errw io.Writer) int {
 		keySpace = fs.Int("keyspace", 16384, "distinct keys")
 		prefill  = fs.Int("prefill", 0, "keys stored before the clock starts")
 		seed     = fs.Int64("seed", 1, "workload seed")
+		protocol = fs.String("protocol", "text", "wire protocol: text or resp")
+		pipeline = fs.Int("pipeline", 1, "commands pipelined per round trip (1 = closed loop)")
 		jsonPath = fs.String("json", "BENCH_server.json", "write a JSON report here (empty disables)")
 		timeout  = fs.Duration("timeout", 5*time.Second, "per-operation deadline")
 		retries  = fs.Int("retries", 2, "retries per operation on transient errors")
@@ -124,7 +141,18 @@ func run(args []string, out, errw io.Writer) int {
 		fmt.Fprintln(errw, "lfload: -conns and -keyspace must be positive")
 		return 2
 	}
-	opts := client.Options{OpTimeout: *timeout, Retries: *retries}
+	if *pipeline < 1 {
+		fmt.Fprintln(errw, "lfload: -pipeline must be positive")
+		return 2
+	}
+	if *pipeline > 1 && *chaos {
+		// The chaos history records one event per wire attempt; batches
+		// complete as a unit, so pipelining would blur the at-most-once
+		// accounting linearize.CheckKV depends on.
+		fmt.Fprintln(errw, "lfload: -chaos and -pipeline are mutually exclusive")
+		return 2
+	}
+	opts := client.Options{OpTimeout: *timeout, Retries: *retries, Protocol: *protocol}
 
 	target := *addr
 	var proxy *faultnet.Proxy
@@ -155,6 +183,18 @@ func run(args []string, out, errw io.Writer) int {
 		}
 	}
 
+	// Precomputed key names and value payloads: the measured loops must
+	// not pay fmt.Sprintf (or the string->[]byte conversion) per
+	// operation — at several hundred thousand ops/s on a shared CPU that
+	// generator overhead would show up in the server's numbers. Read-only
+	// after this point, so all workers share them.
+	keys := make([]string, *keySpace)
+	vals := make([][]byte, *keySpace)
+	for i := range keys {
+		keys[i] = keyName(i)
+		vals[i] = []byte(keys[i])
+	}
+
 	var (
 		wg         sync.WaitGroup
 		stop       atomic.Bool
@@ -167,7 +207,7 @@ func run(args []string, out, errw io.Writer) int {
 		netErrs    atomic.Int64
 		protoErrs  atomic.Int64
 		latMu      sync.Mutex
-		latencies  []time.Duration
+		lat        latHist
 	)
 	start := time.Now()
 	for w := 0; w < *conns; w++ {
@@ -196,7 +236,18 @@ func run(args []string, out, errw io.Writer) int {
 				}
 				return rng.Intn(*keySpace)
 			}
-			var localLats []time.Duration
+			var localLat latHist
+			if *pipeline > 1 {
+				runPipelined(c, rng, draw, *pipeline, keys, vals, &stop, &localLat, pipeCounters{
+					ops: &ops, gets: &gets, getHits: &getHits, sets: &sets,
+					deletes: &deletes, deleteHits: &deleteHits,
+					netErrs: &netErrs, protoErrs: &protoErrs,
+				}, mix)
+				latMu.Lock()
+				lat.merge(&localLat)
+				latMu.Unlock()
+				return
+			}
 			for !stop.Load() {
 				k := draw()
 				if hist != nil {
@@ -205,7 +256,7 @@ func run(args []string, out, errw io.Writer) int {
 						return // per-key history budget exhausted everywhere
 					}
 				}
-				key := keyName(k)
+				key := keys[k]
 				opStart := time.Now()
 				var err error
 				switch p := rng.Intn(100); {
@@ -224,7 +275,7 @@ func run(args []string, out, errw io.Writer) int {
 					if hist != nil {
 						err = hist.set(c, k)
 					} else {
-						err = c.Set(key, []byte(key))
+						err = c.Set(key, vals[k])
 					}
 					sets.Add(1)
 				default:
@@ -247,12 +298,12 @@ func run(args []string, out, errw io.Writer) int {
 						netErrs.Add(1)
 					}
 				} else {
-					localLats = append(localLats, time.Since(opStart))
+					localLat.add(time.Since(opStart))
 				}
 				ops.Add(1)
 			}
 			latMu.Lock()
-			latencies = append(latencies, localLats...)
+			lat.merge(&localLat)
 			latMu.Unlock()
 		}(*seed + int64(w) + 1)
 	}
@@ -266,7 +317,6 @@ func run(args []string, out, errw io.Writer) int {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	r := report{
 		Bench:          "lfload",
 		Timestamp:      time.Now().UTC().Format(time.RFC3339),
@@ -277,6 +327,8 @@ func run(args []string, out, errw io.Writer) int {
 		Dist:           dist.String(),
 		KeySpace:       *keySpace,
 		Prefill:        *prefill,
+		Protocol:       *protocol,
+		Pipeline:       *pipeline,
 		Ops:            ops.Load(),
 		OpsPerSec:      float64(ops.Load()) / elapsed.Seconds(),
 		Gets:           gets.Load(),
@@ -286,22 +338,27 @@ func run(args []string, out, errw io.Writer) int {
 		DeleteHits:     deleteHits.Load(),
 		NetErrors:      netErrs.Load(),
 		ProtocolErrors: protoErrs.Load(),
-		LatP50Micros:   percentile(latencies, 0.50).Microseconds(),
-		LatP99Micros:   percentile(latencies, 0.99).Microseconds(),
+		LatP50Micros:   lat.percentile(0.50).Microseconds(),
+		LatP99Micros:   lat.percentile(0.99).Microseconds(),
+		LatP999Micros:  lat.percentile(0.999).Microseconds(),
 	}
 
-	fmt.Fprintf(out, "lfload: %d conns for %.1fs against %s (mix=%s dist=%s keyspace=%d)\n",
-		r.Conns, r.DurationSec, r.Addr, r.Mix, r.Dist, r.KeySpace)
+	fmt.Fprintf(out, "lfload: %d conns for %.1fs against %s (mix=%s dist=%s keyspace=%d protocol=%s pipeline=%d)\n",
+		r.Conns, r.DurationSec, r.Addr, r.Mix, r.Dist, r.KeySpace, r.Protocol, r.Pipeline)
 	fmt.Fprintf(out, "  %d ops (%.0f ops/s): %d gets (%d hits), %d sets, %d deletes (%d hits)\n",
 		r.Ops, r.OpsPerSec, r.Gets, r.GetHits, r.Sets, r.Deletes, r.DeleteHits)
-	fmt.Fprintf(out, "  latency p50=%dµs p99=%dµs; errors: network=%d protocol=%d\n",
-		r.LatP50Micros, r.LatP99Micros, r.NetErrors, r.ProtocolErrors)
+	fmt.Fprintf(out, "  latency p50=%dµs p99=%dµs p999=%dµs; errors: network=%d protocol=%d\n",
+		r.LatP50Micros, r.LatP99Micros, r.LatP999Micros, r.NetErrors, r.ProtocolErrors)
 
-	// Durability counters come from the server directly (not through the
-	// chaos proxy, which may be poisoning connections).
-	if ps, err := fetchPersistStats(*addr, *timeout); err != nil {
+	// Wire and durability counters come from the server directly (not
+	// through the chaos proxy, which may be poisoning connections).
+	if ps, err := fetchServerStats(*addr, *protocol, *timeout); err != nil {
 		fmt.Fprintf(errw, "lfload: post-run STATS fetch failed: %v\n", err)
 	} else {
+		r.BytesIn = ps["bytes_in"]
+		r.BytesOut = ps["bytes_out"]
+		fmt.Fprintf(out, "  wire: bytes_in=%d bytes_out=%d batches=%d batched_ops=%d\n",
+			ps["bytes_in"], ps["bytes_out"], ps["batches"], ps["batched_ops"])
 		r.AOFRecords = ps["aof_records"]
 		r.AOFBytes = ps["aof_bytes"]
 		r.AOFFsyncs = ps["aof_fsyncs"]
@@ -366,10 +423,10 @@ func run(args []string, out, errw io.Writer) int {
 	return 0
 }
 
-// fetchPersistStats reads the durability counters over a clean direct
-// connection once the run is over.
-func fetchPersistStats(addr string, timeout time.Duration) (map[string]int64, error) {
-	c, err := client.Dial(addr, client.Options{ConnectTimeout: timeout, OpTimeout: timeout})
+// fetchServerStats reads the wire and durability counters over a clean
+// direct connection once the run is over.
+func fetchServerStats(addr, protocol string, timeout time.Duration) (map[string]int64, error) {
+	c, err := client.Dial(addr, client.Options{ConnectTimeout: timeout, OpTimeout: timeout, Protocol: protocol})
 	if err != nil {
 		return nil, err
 	}
@@ -379,7 +436,10 @@ func fetchPersistStats(addr string, timeout time.Duration) (map[string]int64, er
 		return nil, err
 	}
 	out := make(map[string]int64)
-	for _, name := range []string{"aof_records", "aof_bytes", "aof_fsyncs", "snapshot_runs", "recovery_replayed"} {
+	for _, name := range []string{
+		"bytes_in", "bytes_out", "batches", "batched_ops",
+		"aof_records", "aof_bytes", "aof_fsyncs", "snapshot_runs", "recovery_replayed",
+	} {
 		v, err := strconv.ParseInt(stats[name], 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("STATS %s = %q: %w", name, stats[name], err)
@@ -415,10 +475,3 @@ func doPrefill(addr string, opts client.Options, n, keySpace int, seed int64) er
 }
 
 func keyName(k int) string { return fmt.Sprintf("key:%08d", k) }
-
-func percentile(sorted []time.Duration, p float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	return sorted[int(p*float64(len(sorted)-1))]
-}

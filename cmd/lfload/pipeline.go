@@ -1,0 +1,91 @@
+package main
+
+import (
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"valois/internal/client"
+	"valois/internal/proto"
+	"valois/internal/workload"
+)
+
+// pipeCounters bundles the shared run counters a pipelined worker feeds.
+type pipeCounters struct {
+	ops, gets, getHits, sets, deletes, deleteHits *atomic.Int64
+	netErrs, protoErrs                            *atomic.Int64
+}
+
+// runPipelined is the worker body for -pipeline N > 1: each round trip
+// carries depth commands drawn from the mix, issued through the client's
+// batch API (one write, one flush, replies read back in order). The
+// batch's round trip is attributed to every operation in it via addN —
+// each op completed when the batch reply arrived, so each experienced
+// the RTT. The batch, result slice, verb tags, and the shared key/value
+// tables are reused across rounds, so the steady-state loop is
+// allocation-free on the client too.
+func runPipelined(c *client.Client, rng *rand.Rand, draw func() int, depth int,
+	keys []string, vals [][]byte,
+	stop *atomic.Bool, lat *latHist, n pipeCounters, mix workload.Mix) {
+	var (
+		b       client.Batch
+		results []client.Result
+		verbs   = make([]byte, 0, depth)
+	)
+	for !stop.Load() {
+		b.Reset()
+		verbs = verbs[:0]
+		var qGets, qSets, qDels int64
+		for j := 0; j < depth; j++ {
+			k := draw()
+			key := keys[k]
+			switch p := rng.Intn(100); {
+			case p < mix.FindPct:
+				b.Get(key)
+				verbs = append(verbs, 'g')
+				qGets++
+			case p < mix.FindPct+mix.InsertPct:
+				b.Set(key, vals[k])
+				verbs = append(verbs, 's')
+				qSets++
+			default:
+				b.Delete(key)
+				verbs = append(verbs, 'd')
+				qDels++
+			}
+		}
+		opStart := time.Now()
+		var err error
+		results, err = c.DoInto(&b, results[:0])
+		n.ops.Add(int64(depth))
+		n.gets.Add(qGets)
+		n.sets.Add(qSets)
+		n.deletes.Add(qDels)
+		if err != nil {
+			// The whole batch failed as a unit; one error event, no
+			// latency sample (the round trip never completed).
+			var re *proto.ReplyError
+			if errors.As(err, &re) {
+				n.protoErrs.Add(1)
+			} else {
+				n.netErrs.Add(1)
+			}
+			continue
+		}
+		var gHits, dHits int64
+		for i, r := range results {
+			if r.Found {
+				switch verbs[i] {
+				case 'g':
+					gHits++
+				case 'd':
+					dHits++
+				}
+			}
+		}
+		n.getHits.Add(gHits)
+		n.deleteHits.Add(dHits)
+		lat.addN(time.Since(opStart), int64(depth))
+	}
+}

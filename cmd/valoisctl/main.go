@@ -2,10 +2,11 @@
 // shell scripts and smoke tests to drive the server without a redis-cli
 // equivalent:
 //
-//	valoisctl [-addr 127.0.0.1:11311] set KEY VALUE
+//	valoisctl [-addr 127.0.0.1:11311] [-protocol text|resp] set KEY VALUE
 //	valoisctl [-addr ...] get KEY        # prints the value; exit 1 on miss
 //	valoisctl [-addr ...] delete KEY     # exit 1 on miss
 //	valoisctl [-addr ...] stats          # prints NAME VALUE per line
+//	valoisctl [-addr ...] -protocol resp ping   # liveness probe (RESP only)
 //
 // Exit codes: 0 success, 1 miss (get/delete on an absent key), 2 usage or
 // transport error — so `valoisctl get k` is a crisp durability probe:
@@ -33,15 +34,16 @@ func run(args []string, out, errw io.Writer) int {
 	fs.SetOutput(errw)
 	addr := fs.String("addr", "127.0.0.1:11311", "valoisd address")
 	timeout := fs.Duration("timeout", 5*time.Second, "per-operation timeout")
+	protocol := fs.String("protocol", "text", "wire protocol: text or resp")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		fmt.Fprintln(errw, "valoisctl: usage: valoisctl [-addr HOST:PORT] set|get|delete|stats ...")
+		fmt.Fprintln(errw, "valoisctl: usage: valoisctl [-addr HOST:PORT] [-protocol text|resp] set|get|delete|stats|ping ...")
 		return 2
 	}
-	c, err := client.Dial(*addr, client.Options{ConnectTimeout: *timeout, OpTimeout: *timeout})
+	c, err := client.Dial(*addr, client.Options{ConnectTimeout: *timeout, OpTimeout: *timeout, Protocol: *protocol})
 	if err != nil {
 		fmt.Fprintln(errw, "valoisctl:", err)
 		return 2
@@ -103,7 +105,16 @@ func run(args []string, out, errw io.Writer) int {
 			fmt.Fprintf(out, "%s %s\n", name, stats[name])
 		}
 		return 0
+	case "ping":
+		if n != 0 {
+			return bad("ping takes no arguments")
+		}
+		if err := c.Ping(); err != nil {
+			return bad("ping: %v", err)
+		}
+		fmt.Fprintln(out, "PONG")
+		return 0
 	default:
-		return bad("unknown command %q (set, get, delete, stats)", cmd)
+		return bad("unknown command %q (set, get, delete, stats, ping)", cmd)
 	}
 }

@@ -1,5 +1,6 @@
 // Command valoisd serves the paper's §4 lock-free dictionaries over TCP
-// with the memcached-style text protocol of internal/proto. Keys are
+// with the memcached-style text protocol and the RESP protocol of
+// internal/proto (auto-detected per connection by default). Keys are
 // sharded across independent dictionary instances; the backend structure
 // and the §5 memory mode are flags, so the same daemon compares every
 // structure × mode combination under real network load (see cmd/lfload).
@@ -7,13 +8,18 @@
 // Usage:
 //
 //	valoisd [-addr :11311] [-backend skiplist] [-mode gc] [-shards 16]
-//	        [-buckets 1024] [-gomaxprocs N]
+//	        [-buckets 1024] [-gomaxprocs N] [-protocol auto|text|resp]
+//	        [-batch=false] [-pprof ADDR]
 //	        [-aof -data-dir DIR [-fsync always|everysec|no] [-snapshot-interval 5m]]
 //
 // With -aof, every mutation is appended to an append-only log under
 // -data-dir and state is recovered from it (latest snapshot + log tail)
 // at startup; -snapshot-interval > 0 compacts the log in the background
 // with lock-free cursor-scan snapshots that never block writers.
+//
+// -pprof starts a net/http/pprof listener on ADDR (for example
+// "127.0.0.1:6060") with mutex and block profiling enabled, so serving
+// hot paths can be profiled under live load.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes,
 // in-flight requests drain, the log is flushed and fsynced, and the
@@ -34,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"valois/internal/proto"
 	"valois/internal/server"
 )
 
@@ -61,6 +68,9 @@ func run(args []string, logw io.Writer, onReady func(net.Addr)) int {
 		readTO     = fs.Duration("read-timeout", server.DefaultReadTimeout, "per-command read deadline (negative disables)")
 		writeTO    = fs.Duration("write-timeout", server.DefaultWriteTimeout, "per-reply write deadline (negative disables)")
 		maxConns   = fs.Int("max-conns", 0, "max concurrent connections, over-cap dials are rejected (0 = unlimited)")
+		protocol   = fs.String("protocol", proto.ProtocolAuto, "wire protocol: auto (sniff per connection), text, or resp")
+		batch      = fs.Bool("batch", true, "drain pipelined commands into batched execution")
+		pprofAddr  = fs.String("pprof", "", "if set, serve net/http/pprof on this address with mutex/block profiling")
 		aof        = fs.Bool("aof", false, "enable the append-only log (requires -data-dir)")
 		dataDir    = fs.String("data-dir", "", "directory for the append-only log and snapshots")
 		fsync      = fs.String("fsync", "everysec", "AOF fsync policy: always, everysec, or no")
@@ -86,6 +96,8 @@ func run(args []string, logw io.Writer, onReady func(net.Addr)) int {
 		ReadTimeout:  *readTO,
 		WriteTimeout: *writeTO,
 		MaxConns:     *maxConns,
+		Protocol:     *protocol,
+		NoBatch:      !*batch,
 		Logf:         func(format string, a ...any) { fmt.Fprintf(logw, "valoisd: "+format+"\n", a...) },
 	}
 	if *aof {
@@ -103,13 +115,21 @@ func run(args []string, logw io.Writer, onReady func(net.Addr)) int {
 		fmt.Fprintf(logw, "valoisd: durability on (dir=%s fsync=%s snapshot-interval=%s): recovered %d records (snapshot gen %d: %d, aof tail: %d, torn tail: %v)\n",
 			*dataDir, *fsync, *snapEvery, rec.Replayed(), rec.SnapshotGen, rec.SnapshotRecords, rec.TailRecords, rec.TornTail)
 	}
+	if *pprofAddr != "" {
+		stopProfiler, err := startProfiler(*pprofAddr, logw)
+		if err != nil {
+			fmt.Fprintln(logw, "valoisd:", err)
+			return 1
+		}
+		defer stopProfiler()
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(logw, "valoisd:", err)
 		return 1
 	}
-	fmt.Fprintf(logw, "valoisd: serving on %s (backend=%s mode=%s shards=%d gomaxprocs=%d)\n",
-		ln.Addr(), *backend, *mode, *shards, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(logw, "valoisd: serving on %s (backend=%s mode=%s shards=%d protocol=%s batch=%v gomaxprocs=%d)\n",
+		ln.Addr(), *backend, *mode, *shards, *protocol, *batch, runtime.GOMAXPROCS(0))
 	if onReady != nil {
 		onReady(ln.Addr())
 	}

@@ -1,8 +1,8 @@
 // Package client is the Go client for valoisd (internal/server): the
-// memcached-style text protocol of internal/proto over TCP, with connect
-// timeouts, per-operation deadlines, bounded retry with exponential
-// backoff on transient network errors, and a pipelined batch API that
-// amortises round trips.
+// memcached-style text protocol or the RESP protocol of internal/proto
+// over TCP, with connect timeouts, per-operation deadlines, bounded
+// retry with exponential backoff on transient network errors, and a
+// pipelined batch API that amortises round trips.
 //
 // A Client owns one connection and is not safe for concurrent use; open
 // one Client per goroutine (connections are cheap — the server runs one
@@ -35,6 +35,11 @@ type Options struct {
 	// Backoff is the first retry's delay; it doubles per attempt.
 	// Default 10ms.
 	Backoff time.Duration
+	// Protocol selects the wire protocol: proto.ProtocolText (the
+	// default, also selected by "") or proto.ProtocolRESP. Both carry
+	// the same commands; RESP requests are binary-safe and a server in
+	// auto mode tells them apart from the first byte.
+	Protocol string
 }
 
 func (o Options) withDefaults() Options {
@@ -52,6 +57,9 @@ func (o Options) withDefaults() Options {
 	if o.Backoff <= 0 {
 		o.Backoff = 10 * time.Millisecond
 	}
+	if o.Protocol == "" {
+		o.Protocol = proto.ProtocolText
+	}
 	return o
 }
 
@@ -65,14 +73,23 @@ type Entry struct {
 type Client struct {
 	addr string
 	opts Options
+	resp bool
 	nc   net.Conn
 	br   *bufio.Reader
 	bw   *bufio.Writer
+	enc  []byte // request encode scratch, reused across operations
 }
 
 // Dial connects to a valoisd server at addr.
 func Dial(addr string, opts Options) (*Client, error) {
 	c := &Client{addr: addr, opts: opts.withDefaults()}
+	switch c.opts.Protocol {
+	case proto.ProtocolText:
+	case proto.ProtocolRESP:
+		c.resp = true
+	default:
+		return nil, fmt.Errorf("client: unknown protocol %q (want text or resp)", c.opts.Protocol)
+	}
 	if err := c.connect(); err != nil {
 		return nil, err
 	}
@@ -103,7 +120,7 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.nc.SetDeadline(time.Now().Add(c.opts.OpTimeout))
-	proto.WriteCommand(c.bw, proto.Command{Verb: proto.VerbQuit})
+	c.writeCommand(proto.Command{Verb: proto.VerbQuit})
 	c.bw.Flush()
 	err := c.nc.Close()
 	c.nc = nil
@@ -150,16 +167,8 @@ func (c *Client) Get(key string) (value []byte, found bool, err error) {
 		if err := c.roundTripHeader(proto.Command{Verb: proto.VerbGet, Key: key}); err != nil {
 			return err
 		}
-		entries, err := c.readValuesUntilEnd(1)
-		if err != nil {
-			return err
-		}
-		if len(entries) == 1 {
-			value, found = entries[0].Value, true
-		} else {
-			value, found = nil, false
-		}
-		return nil
+		value, found, err = c.readGetReply()
+		return err
 	})
 	return value, found, err
 }
@@ -170,29 +179,19 @@ func (c *Client) Set(key string, value []byte) error {
 		if err := c.roundTripHeader(proto.Command{Verb: proto.VerbSet, Key: key, Value: value}); err != nil {
 			return err
 		}
-		return c.expectLine(proto.ReplyStored)
+		return c.readSetReply()
 	})
 }
 
 // Delete removes key, reporting whether the server found it.
 func (c *Client) Delete(key string) (deleted bool, err error) {
 	err = c.do(func() error {
+		deleted = false
 		if err := c.roundTripHeader(proto.Command{Verb: proto.VerbDelete, Key: key}); err != nil {
 			return err
 		}
-		fields, err := proto.ReadReplyLine(c.br)
-		if err != nil {
-			return err
-		}
-		switch fields[0] {
-		case proto.ReplyDeleted:
-			deleted = true
-		case proto.ReplyNotFound:
-			deleted = false
-		default:
-			return fmt.Errorf("client: unexpected DELETE reply %q", fields[0])
-		}
-		return nil
+		deleted, err = c.readDeleteReply()
+		return err
 	})
 	return deleted, err
 }
@@ -202,6 +201,10 @@ func (c *Client) Delete(key string) (deleted bool, err error) {
 func (c *Client) Range(start string, count int) (entries []Entry, err error) {
 	err = c.do(func() error {
 		if err := c.roundTripHeader(proto.Command{Verb: proto.VerbRange, Key: start, Count: count}); err != nil {
+			return err
+		}
+		if c.resp {
+			entries, err = c.readRESPEntries()
 			return err
 		}
 		entries, err = c.readValuesUntilEnd(count)
@@ -215,6 +218,17 @@ func (c *Client) Stats() (stats map[string]string, err error) {
 	err = c.do(func() error {
 		if err := c.roundTripHeader(proto.Command{Verb: proto.VerbStats}); err != nil {
 			return err
+		}
+		if c.resp {
+			entries, err := c.readRESPEntries()
+			if err != nil {
+				return err
+			}
+			stats = make(map[string]string, len(entries))
+			for _, e := range entries {
+				stats[e.Key] = string(e.Value)
+			}
+			return nil
 		}
 		stats = make(map[string]string)
 		for {
@@ -235,12 +249,177 @@ func (c *Client) Stats() (stats map[string]string, err error) {
 	return stats, err
 }
 
+// Ping round-trips a PING (RESP only; the text grammar has no PING).
+func (c *Client) Ping() error {
+	if !c.resp {
+		return errors.New("client: PING requires the resp protocol")
+	}
+	return c.do(func() error {
+		if err := c.roundTripHeader(proto.Command{Verb: proto.VerbPing}); err != nil {
+			return err
+		}
+		kind, rest, err := proto.ReadRESPLine(c.br)
+		if err != nil {
+			return err
+		}
+		if kind != '+' || string(rest) != "PONG" {
+			return fmt.Errorf("client: unexpected PING reply %q", rest)
+		}
+		return nil
+	})
+}
+
+// writeCommand encodes cmd in the connection's protocol into the reused
+// scratch buffer and writes (without flushing) it.
+func (c *Client) writeCommand(cmd proto.Command) error {
+	var err error
+	if c.resp {
+		c.enc, err = proto.AppendRESPCommand(c.enc[:0], cmd)
+	} else {
+		c.enc, err = proto.AppendCommand(c.enc[:0], cmd)
+	}
+	if err != nil {
+		return err
+	}
+	_, err = c.bw.Write(c.enc)
+	return err
+}
+
 // roundTripHeader writes one command and flushes it.
 func (c *Client) roundTripHeader(cmd proto.Command) error {
-	if err := proto.WriteCommand(c.bw, cmd); err != nil {
+	if err := c.writeCommand(cmd); err != nil {
 		return err
 	}
 	return c.bw.Flush()
+}
+
+// readGetReply consumes one GET reply in the connection's protocol.
+func (c *Client) readGetReply() (value []byte, found bool, err error) {
+	if c.resp {
+		n, err := c.readRESPBulkHeader()
+		if err != nil {
+			return nil, false, err
+		}
+		if n < 0 {
+			return nil, false, nil // $-1: miss
+		}
+		data, err := proto.ReadRESPBulkBody(c.br, n)
+		if err != nil {
+			return nil, false, err
+		}
+		return data, true, nil
+	}
+	entries, err := c.readValuesUntilEnd(1)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(entries) == 1 {
+		return entries[0].Value, true, nil
+	}
+	return nil, false, nil
+}
+
+// readSetReply consumes one SET reply ("STORED" / "+OK").
+func (c *Client) readSetReply() error {
+	if c.resp {
+		kind, rest, err := proto.ReadRESPLine(c.br)
+		if err != nil {
+			return err
+		}
+		if kind != '+' || string(rest) != "OK" {
+			return fmt.Errorf("client: unexpected SET reply %q", rest)
+		}
+		return nil
+	}
+	return c.expectLine(proto.ReplyStored)
+}
+
+// readDeleteReply consumes one DELETE reply ("DELETED"/"NOT_FOUND", or
+// the RESP deleted-count integer).
+func (c *Client) readDeleteReply() (deleted bool, err error) {
+	if c.resp {
+		kind, rest, err := proto.ReadRESPLine(c.br)
+		if err != nil {
+			return false, err
+		}
+		if kind != ':' {
+			return false, fmt.Errorf("client: unexpected DELETE reply type %q", kind)
+		}
+		n, err := proto.ParseRESPInt(rest)
+		if err != nil {
+			return false, err
+		}
+		return n != 0, nil
+	}
+	fields, err := proto.ReadReplyLine(c.br)
+	if err != nil {
+		return false, err
+	}
+	switch fields[0] {
+	case proto.ReplyDeleted:
+		return true, nil
+	case proto.ReplyNotFound:
+		return false, nil
+	default:
+		return false, fmt.Errorf("client: unexpected DELETE reply %q", fields[0])
+	}
+}
+
+// readRESPBulkHeader reads a '$' header and returns its declared length
+// (negative for the null bulk).
+func (c *Client) readRESPBulkHeader() (int, error) {
+	kind, rest, err := proto.ReadRESPLine(c.br)
+	if err != nil {
+		return 0, err
+	}
+	if kind != '$' {
+		return 0, fmt.Errorf("client: unexpected reply type %q, want bulk", kind)
+	}
+	n, err := proto.ParseRESPInt(rest)
+	if err != nil {
+		return 0, err
+	}
+	return int(n), nil
+}
+
+// readRESPEntries consumes a flat RESP array of key/value bulk pairs —
+// the RANGE and STATS reply shape.
+func (c *Client) readRESPEntries() ([]Entry, error) {
+	kind, rest, err := proto.ReadRESPLine(c.br)
+	if err != nil {
+		return nil, err
+	}
+	if kind != '*' {
+		return nil, fmt.Errorf("client: unexpected reply type %q, want array", kind)
+	}
+	n, err := proto.ParseRESPInt(rest)
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 || n%2 != 0 {
+		return nil, fmt.Errorf("client: bad pair-array length %d", n)
+	}
+	entries := make([]Entry, 0, n/2)
+	for i := int64(0); i < n; i += 2 {
+		klen, err := c.readRESPBulkHeader()
+		if err != nil {
+			return nil, err
+		}
+		key, err := proto.ReadRESPBulkBody(c.br, klen)
+		if err != nil {
+			return nil, err
+		}
+		vlen, err := c.readRESPBulkHeader()
+		if err != nil {
+			return nil, err
+		}
+		value, err := proto.ReadRESPBulkBody(c.br, vlen)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, Entry{Key: string(key), Value: value})
+	}
+	return entries, nil
 }
 
 // expectLine reads one reply line and requires its first token.
@@ -305,6 +484,10 @@ func (b *Batch) Delete(key string) {
 // Len reports the number of queued operations.
 func (b *Batch) Len() int { return len(b.cmds) }
 
+// Reset empties the batch, keeping its capacity for reuse — together
+// with DoInto this makes a steady-state pipelining loop allocation-free.
+func (b *Batch) Reset() { b.cmds = b.cmds[:0] }
+
 // Result is the outcome of one batched operation, in queue order.
 type Result struct {
 	Key   string
@@ -317,49 +500,51 @@ type Result struct {
 // Len(). The whole batch shares one OpTimeout and is retried as a unit on
 // transient errors (all batchable verbs are idempotent upserts/lookups,
 // so a replay is safe).
-func (c *Client) Do(b *Batch) (results []Result, err error) {
+func (c *Client) Do(b *Batch) ([]Result, error) {
+	return c.DoInto(b, nil)
+}
+
+// DoInto is Do appending results into dst (reusing its capacity),
+// returning the extended slice. dst must be empty or freshly truncated.
+func (c *Client) DoInto(b *Batch, dst []Result) (results []Result, err error) {
 	if b.Len() == 0 {
-		return nil, nil
+		return dst, nil
 	}
 	err = c.do(func() error {
 		for _, cmd := range b.cmds {
-			if err := proto.WriteCommand(c.bw, cmd); err != nil {
+			if err := c.writeCommand(cmd); err != nil {
 				return err
 			}
 		}
 		if err := c.bw.Flush(); err != nil {
 			return err
 		}
-		results = make([]Result, 0, len(b.cmds))
+		results = dst[:0]
 		for _, cmd := range b.cmds {
 			r := Result{Key: cmd.Key}
 			switch cmd.Verb {
 			case proto.VerbGet:
-				entries, err := c.readValuesUntilEnd(1)
+				r.Value, r.Found, err = c.readGetReply()
 				if err != nil {
 					return err
 				}
-				if len(entries) == 1 {
-					r.Value, r.Found = entries[0].Value, true
-				}
 			case proto.VerbSet:
-				if err := c.expectLine(proto.ReplyStored); err != nil {
+				if err := c.readSetReply(); err != nil {
 					return err
 				}
 				r.Found = true
 			case proto.VerbDelete:
-				fields, err := proto.ReadReplyLine(c.br)
+				r.Found, err = c.readDeleteReply()
 				if err != nil {
 					return err
 				}
-				r.Found = fields[0] == proto.ReplyDeleted
 			}
 			results = append(results, r)
 		}
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return dst[:0], err
 	}
 	return results, nil
 }

@@ -41,6 +41,10 @@ const (
 	VerbRange
 	VerbStats
 	VerbQuit
+	// VerbPing exists only on the RESP protocol (redis-benchmark and
+	// redis clients probe with it); the text grammar has no PING and the
+	// canonical AOF encoding rejects it, so it can never be persisted.
+	VerbPing
 )
 
 // String returns the verb's wire spelling.
@@ -58,6 +62,8 @@ func (v Verb) String() string {
 		return "STATS"
 	case VerbQuit:
 		return "QUIT"
+	case VerbPing:
+		return "PING"
 	default:
 		return "INVALID"
 	}
@@ -127,7 +133,13 @@ func readLine(r *bufio.Reader) ([]byte, error) {
 // apart on the server (found by FuzzCommandRoundTrip). The wire grammar
 // is byte-oriented; so is the tokenizer.
 func asciiFields(line []byte) [][]byte {
-	var fields [][]byte
+	return asciiFieldsInto(nil, line)
+}
+
+// asciiFieldsInto is asciiFields appending into a caller-owned scratch
+// slice, so per-command tokenizing on the serving hot path does not
+// allocate (the codecs keep the scratch across commands).
+func asciiFieldsInto(fields [][]byte, line []byte) [][]byte {
 	for len(line) > 0 {
 		for len(line) > 0 && (line[0] == ' ' || line[0] == '\t') {
 			line = line[1:]
@@ -143,6 +155,32 @@ func asciiFields(line []byte) [][]byte {
 		line = line[i:]
 	}
 	return fields
+}
+
+// parseDecimal parses an optionally negative decimal integer without
+// allocating (strconv.Atoi needs a string). At most 18 digits, so the
+// result cannot overflow int64; a leading '+' is rejected — the wire
+// grammar only ever carries plain digits.
+func parseDecimal(b []byte) (int64, bool) {
+	neg := false
+	if len(b) > 0 && b[0] == '-' {
+		neg = true
+		b = b[1:]
+	}
+	if len(b) == 0 || len(b) > 18 {
+		return 0, false
+	}
+	var v int64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + int64(c-'0')
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
 }
 
 // validKey reports whether k is a legal key token: 1..MaxKeyLen bytes,
@@ -162,17 +200,36 @@ func validKey(k []byte) bool {
 // ReadCommand reads and parses one request. Errors are either io errors
 // (connection gone), ErrUnknownVerb, or *ClientError.
 func ReadCommand(r *bufio.Reader) (Command, error) {
+	var tc TextCodec
+	return tc.ReadCommand(r)
+}
+
+// TextCodec is the memcached-style text protocol as a ServerCodec. The
+// zero value is ready to use; it carries tokenizer scratch so parsing a
+// command performs no slice allocation beyond the key string and SET
+// payload.
+type TextCodec struct {
+	fields [][]byte
+}
+
+// Name reports the codec's protocol name.
+func (tc *TextCodec) Name() string { return ProtocolText }
+
+// ReadCommand reads and parses one request (see package ReadCommand).
+func (tc *TextCodec) ReadCommand(r *bufio.Reader) (Command, error) {
 	line, err := readLine(r)
 	if err != nil {
 		return Command{}, err
 	}
-	fields := asciiFields(line)
+	tc.fields = asciiFieldsInto(tc.fields[:0], line)
+	fields := tc.fields
 	if len(fields) == 0 {
 		return Command{}, clientErr(false, "empty request")
 	}
-	verb := string(fields[0])
 	args := fields[1:]
-	switch verb {
+	// switch-on-conversion is allocation-free: the compiler compares the
+	// byte slice against the case literals without materializing a string.
+	switch string(fields[0]) {
 	case "GET", "get":
 		if len(args) != 1 {
 			return Command{}, clientErr(false, "GET wants 1 argument, got %d", len(args))
@@ -194,10 +251,11 @@ func ReadCommand(r *bufio.Reader) (Command, error) {
 		// refill that buffer, overwriting the key bytes with later stream
 		// bytes — the key would pass validKey yet store as garbage.
 		key := string(args[0])
-		n, err := strconv.Atoi(string(args[1]))
-		if err != nil || n < 0 {
+		n64, ok := parseDecimal(args[1])
+		if !ok || n64 < 0 {
 			return Command{}, clientErr(false, "bad value length %q", args[1])
 		}
+		n := int(n64)
 		if n > MaxValueLen {
 			// The data block is on the wire; without reading it framing is
 			// lost, and reading it would buffer an over-limit value. Fatal.
@@ -234,11 +292,11 @@ func ReadCommand(r *bufio.Reader) (Command, error) {
 		if !validKey(args[0]) {
 			return Command{}, clientErr(false, "bad start key")
 		}
-		n, err := strconv.Atoi(string(args[1]))
-		if err != nil || n < 1 || n > MaxRange {
+		n, ok := parseDecimal(args[1])
+		if !ok || n < 1 || n > MaxRange {
 			return Command{}, clientErr(false, "bad count %q (want 1..%d)", args[1], MaxRange)
 		}
-		return Command{Verb: VerbRange, Key: string(args[0]), Count: n}, nil
+		return Command{Verb: VerbRange, Key: string(args[0]), Count: int(n)}, nil
 
 	case "STATS", "stats":
 		if len(args) != 0 {
@@ -252,6 +310,36 @@ func ReadCommand(r *bufio.Reader) (Command, error) {
 	default:
 		return Command{}, ErrUnknownVerb
 	}
+}
+
+// Complete reports whether buf — the reader's currently-buffered bytes —
+// holds at least one whole command, i.e. whether ReadCommand is
+// guaranteed to reach a verdict (a command or an error) without another
+// socket read. The serving loop uses it to drain a pipelined burst
+// without ever blocking mid-batch. It is conservative the cheap way:
+// anything that makes ReadCommand fail before touching a data block
+// (unknown verb, bad length, over-limit value) counts as complete,
+// because the error path consumes only the already-buffered line.
+func (tc *TextCodec) Complete(buf []byte) bool {
+	i := bytes.IndexByte(buf, '\n')
+	if i < 0 {
+		return false
+	}
+	line := buf[:i]
+	if len(line) > 0 && line[len(line)-1] == '\r' {
+		line = line[:len(line)-1]
+	}
+	tc.fields = asciiFieldsInto(tc.fields[:0], line)
+	f := tc.fields
+	// Only a well-formed SET reads past its command line; everything
+	// else resolves on the line alone. The length check must mirror
+	// ReadCommand exactly, or a "complete" SET could still block.
+	if len(f) == 3 && (string(f[0]) == "SET" || string(f[0]) == "set") {
+		if n, ok := parseDecimal(f[2]); ok && n >= 0 && n <= MaxValueLen {
+			return int64(len(buf)) >= int64(i+1)+n+2
+		}
+	}
+	return true
 }
 
 // AppendCommand appends the canonical wire encoding of c to dst and

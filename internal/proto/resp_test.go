@@ -1,0 +1,312 @@
+package proto
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func respReader(s string) *bufio.Reader { return bufio.NewReader(strings.NewReader(s)) }
+
+func TestRESPReadCommandWellFormed(t *testing.T) {
+	tests := []struct {
+		in   string
+		want Command
+	}{
+		{"*2\r\n$3\r\nGET\r\n$3\r\nfoo\r\n", Command{Verb: VerbGet, Key: "foo"}},
+		{"*2\r\n$3\r\nget\r\n$3\r\nfoo\r\n", Command{Verb: VerbGet, Key: "foo"}},
+		{"*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$5\r\nhello\r\n", Command{Verb: VerbSet, Key: "k", Value: []byte("hello")}},
+		{"*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$0\r\n\r\n", Command{Verb: VerbSet, Key: "k", Value: []byte{}}},
+		// Binary-safe value: CRLF and NUL inside the payload.
+		{"*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$6\r\na\r\nb\x00c\r\n", Command{Verb: VerbSet, Key: "k", Value: []byte("a\r\nb\x00c")}},
+		{"*2\r\n$3\r\nDEL\r\n$1\r\nk\r\n", Command{Verb: VerbDelete, Key: "k"}},
+		{"*2\r\n$6\r\nDELETE\r\n$1\r\nk\r\n", Command{Verb: VerbDelete, Key: "k"}},
+		{"*3\r\n$5\r\nRANGE\r\n$1\r\na\r\n$2\r\n10\r\n", Command{Verb: VerbRange, Key: "a", Count: 10}},
+		{"*1\r\n$5\r\nSTATS\r\n", Command{Verb: VerbStats}},
+		{"*1\r\n$4\r\nQUIT\r\n", Command{Verb: VerbQuit}},
+		{"*1\r\n$4\r\nPING\r\n", Command{Verb: VerbPing}},
+		// Inline commands (redis-benchmark PING_INLINE and hand-typed).
+		{"PING\r\n", Command{Verb: VerbPing}},
+		{"GET foo\r\n", Command{Verb: VerbGet, Key: "foo"}},
+		{"SET k vvv\r\n", Command{Verb: VerbSet, Key: "k", Value: []byte("vvv")}},
+		{"DEL k\n", Command{Verb: VerbDelete, Key: "k"}},
+		// Bare-LF bulk terminators are tolerated like text data blocks.
+		{"*2\r\n$3\r\nGET\n$3\r\nfoo\n", Command{Verb: VerbGet, Key: "foo"}},
+	}
+	var rc RESPCodec
+	for _, tt := range tests {
+		got, err := rc.ReadCommand(respReader(tt.in))
+		if err != nil {
+			t.Errorf("ReadCommand(%q) error: %v", tt.in, err)
+			continue
+		}
+		if got.Verb != tt.want.Verb || got.Key != tt.want.Key ||
+			got.Count != tt.want.Count || !bytes.Equal(got.Value, tt.want.Value) {
+			t.Errorf("ReadCommand(%q) = %+v, want %+v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestRESPReadCommandMalformed(t *testing.T) {
+	longKey := strings.Repeat("k", MaxKeyLen+1)
+	tests := []struct {
+		in    string
+		fatal bool
+	}{
+		{"*0\r\n", true},                                     // empty array
+		{"*-1\r\n", true},                                    // negative array length
+		{"*999\r\n", true},                                   // array length over maxRESPArgs
+		{"*notanum\r\n", true},                               // unparsable array length
+		{"*2\r\nGET\r\n$1\r\nk\r\n", true},                   // element without bulk header
+		{"*2\r\n$3\r\nGET\r\n$-2\r\n", true},                 // negative bulk length
+		{"*2\r\n$3\r\nGET\r\n$1\r\nkX", true},                // missing bulk terminator
+		{"*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$1048577\r\n", true}, // value over MaxValueLen
+		{"*1\r\n$3\r\nGET\r\n", false},                       // wrong arity
+		{"*3\r\n$3\r\nGET\r\n$1\r\na\r\n$1\r\nb\r\n", false}, // wrong arity, args drained
+		{"*2\r\n$3\r\nGET\r\n$0\r\n\r\n", false},             // empty key
+		{"*2\r\n$3\r\nGET\r\n$" + lenStr(longKey) + "\r\n" + longKey + "\r\n", false}, // oversized key
+		{"*2\r\n$3\r\nGET\r\n$3\r\na b\r\n", false},                                   // space in key
+		{"*3\r\n$5\r\nRANGE\r\n$1\r\na\r\n$2\r\n-3\r\n", false},                       // bad count
+		{"\r\n", false},           // empty inline line
+		{"GET\r\n", false},        // inline wrong arity
+		{"GET a b c\r\n", false},  // inline wrong arity
+		{"RANGE a zz\r\n", false}, // inline bad count
+		{strings.Repeat("x", MaxLineLen+10) + "\r\n", true}, // over-long inline line
+	}
+	for _, tt := range tests {
+		var rc RESPCodec
+		_, err := rc.ReadCommand(respReader(tt.in))
+		var ce *ClientError
+		if !errors.As(err, &ce) {
+			t.Errorf("ReadCommand(%.40q) error = %v, want *ClientError", tt.in, err)
+			continue
+		}
+		if ce.Fatal != tt.fatal {
+			t.Errorf("ReadCommand(%.40q) fatal = %v, want %v (%s)", tt.in, ce.Fatal, tt.fatal, ce.Msg)
+		}
+	}
+}
+
+func lenStr(s string) string { return strconv.Itoa(len(s)) }
+
+// TestRESPRecoverableErrorPreservesFraming: after a non-fatal error
+// mid-array (bad key with a value still on the wire), the next command
+// on the same stream must parse cleanly — the codec drained the
+// remainder of the broken request.
+func TestRESPRecoverableErrorPreservesFraming(t *testing.T) {
+	stream := "*3\r\n$3\r\nSET\r\n$0\r\n\r\n$5\r\nhello\r\n" + // bad (empty) key, value trails
+		"*2\r\n$3\r\nGET\r\n$4\r\ngood\r\n"
+	var rc RESPCodec
+	r := respReader(stream)
+	_, err := rc.ReadCommand(r)
+	var ce *ClientError
+	if !errors.As(err, &ce) || ce.Fatal {
+		t.Fatalf("first command: error = %v, want non-fatal *ClientError", err)
+	}
+	cmd, err := rc.ReadCommand(r)
+	if err != nil || cmd.Verb != VerbGet || cmd.Key != "good" {
+		t.Fatalf("second command after recoverable error = %+v, %v", cmd, err)
+	}
+	// Unknown verbs drain their whole array too.
+	stream = "*2\r\n$4\r\nFROB\r\n$5\r\nxxxxx\r\n*1\r\n$4\r\nPING\r\n"
+	r = respReader(stream)
+	if _, err := rc.ReadCommand(r); !errors.Is(err, ErrUnknownVerb) {
+		t.Fatalf("unknown verb: error = %v, want ErrUnknownVerb", err)
+	}
+	if cmd, err := rc.ReadCommand(r); err != nil || cmd.Verb != VerbPing {
+		t.Fatalf("command after unknown verb = %+v, %v", cmd, err)
+	}
+}
+
+func TestRESPUnknownVerb(t *testing.T) {
+	var rc RESPCodec
+	if _, err := rc.ReadCommand(respReader("*1\r\n$4\r\nFROB\r\n")); !errors.Is(err, ErrUnknownVerb) {
+		t.Fatalf("array: error = %v, want ErrUnknownVerb", err)
+	}
+	if _, err := rc.ReadCommand(respReader("FROB x\r\n")); !errors.Is(err, ErrUnknownVerb) {
+		t.Fatalf("inline: error = %v, want ErrUnknownVerb", err)
+	}
+}
+
+func TestRESPReadCommandEOF(t *testing.T) {
+	var rc RESPCodec
+	if _, err := rc.ReadCommand(respReader("")); !errors.Is(err, io.EOF) {
+		t.Fatalf("error = %v, want io.EOF", err)
+	}
+}
+
+// TestRESPCommandRoundTripTable: AppendRESPCommand → ReadCommand is the
+// identity and re-encoding is byte-stable, for every client-emittable
+// verb including a binary value.
+func TestRESPCommandRoundTripTable(t *testing.T) {
+	cmds := []Command{
+		{Verb: VerbGet, Key: "alpha"},
+		{Verb: VerbSet, Key: "beta", Value: []byte("bytes\r\nwith\x00binary")},
+		{Verb: VerbSet, Key: "empty", Value: nil},
+		{Verb: VerbDelete, Key: "gamma"},
+		{Verb: VerbRange, Key: "delta", Count: 99},
+		{Verb: VerbStats},
+		{Verb: VerbQuit},
+		{Verb: VerbPing},
+	}
+	var rc RESPCodec
+	for _, c := range cmds {
+		enc, err := AppendRESPCommand(nil, c)
+		if err != nil {
+			t.Fatalf("AppendRESPCommand(%v): %v", c.Verb, err)
+		}
+		got, err := rc.ReadCommand(bufio.NewReader(bytes.NewReader(enc)))
+		if err != nil {
+			t.Fatalf("ReadCommand of our own encoding %q: %v", enc, err)
+		}
+		if got.Verb != c.Verb || got.Key != c.Key || got.Count != c.Count || !bytes.Equal(got.Value, c.Value) {
+			t.Fatalf("round trip %v: got %+v, want %+v", c.Verb, got, c)
+		}
+		again, err := AppendRESPCommand(nil, got)
+		if err != nil || !bytes.Equal(again, enc) {
+			t.Fatalf("re-encoding %v differs: %q vs %q (%v)", c.Verb, enc, again, err)
+		}
+	}
+}
+
+// TestRESPReplyEncoders pins the exact reply bytes and checks the client
+// readers parse them back.
+func TestRESPReplyEncoders(t *testing.T) {
+	var rc RESPCodec
+	for _, tt := range []struct {
+		got  []byte
+		want string
+	}{
+		{rc.AppendGetReply(nil, "k", []byte("hello"), true), "$5\r\nhello\r\n"},
+		{rc.AppendGetReply(nil, "k", nil, false), "$-1\r\n"},
+		{rc.AppendSetReply(nil), "+OK\r\n"},
+		{rc.AppendDeleteReply(nil, true), ":1\r\n"},
+		{rc.AppendDeleteReply(nil, false), ":0\r\n"},
+		{rc.AppendPong(nil), "+PONG\r\n"},
+		{rc.AppendQuit(nil), "+OK\r\n"},
+		{rc.AppendUnknownVerb(nil), "-ERR unknown command\r\n"},
+		{rc.AppendClientError(nil, "bad\r\nkey"), "-CLIENT_ERROR bad  key\r\n"},
+		{rc.AppendServerError(nil, "boom"), "-SERVER_ERROR boom\r\n"},
+		{rc.AppendRangeHeader(nil, 2), "*4\r\n"},
+		{rc.AppendStatItem(nil, "ops", "12"), "$3\r\nops\r\n$2\r\n12\r\n"},
+	} {
+		if string(tt.got) != tt.want {
+			t.Errorf("encoder produced %q, want %q", tt.got, tt.want)
+		}
+	}
+
+	// Client-side error mapping: the three server error shapes become the
+	// same *ReplyError kinds the text protocol produces.
+	for _, tt := range []struct {
+		wire string
+		kind string
+		msg  string
+	}{
+		{"-CLIENT_ERROR bad key\r\n", "CLIENT_ERROR", "bad key"},
+		{"-SERVER_ERROR too many connections\r\n", "SERVER_ERROR", "too many connections"},
+		{"-ERR unknown command\r\n", "ERROR", "unknown command"},
+	} {
+		_, _, err := ReadRESPLine(respReader(tt.wire))
+		var re *ReplyError
+		if !errors.As(err, &re) || re.Kind != tt.kind || re.Msg != tt.msg {
+			t.Errorf("ReadRESPLine(%q) = %v, want kind=%s msg=%q", tt.wire, err, tt.kind, tt.msg)
+		}
+	}
+
+	// Bulk reply read-back.
+	kind, rest, err := ReadRESPLine(respReader("$5\r\nworld\r\n"))
+	if err != nil || kind != '$' {
+		t.Fatalf("bulk header = %c, %v", kind, err)
+	}
+	n, err := ParseRESPInt(rest)
+	if err != nil || n != 5 {
+		t.Fatalf("bulk length = %d, %v", n, err)
+	}
+}
+
+// TestCompleteScanners drives both codecs' pipeline scanners over
+// partial and whole buffers: Complete must be false for any strict
+// prefix of a well-formed command (so the batch drain never blocks) and
+// true once the whole command — or a decidable error — is buffered.
+func TestCompleteScanners(t *testing.T) {
+	wholeText := []string{
+		"GET foo\r\n",
+		"SET k 5\r\nhello\r\n",
+		"DELETE k\r\n",
+		"RANGE a 10\r\n",
+		"STATS\r\n",
+		"FROB x\r\n",        // unknown verb: decidable from the line
+		"SET k zz\r\n",      // bad length: decidable from the line
+		"SET k 1048577\r\n", // over-limit: fatal from the line
+	}
+	var tc TextCodec
+	for _, s := range wholeText {
+		if !tc.Complete([]byte(s)) {
+			t.Errorf("text Complete(%q) = false, want true", s)
+		}
+	}
+	// Prefixes of commands that read past the line must be incomplete.
+	for _, s := range []string{"GET fo", "SET k 5\r\nhel", "SET k 5\r\nhello", "SET k 5\r\nhello\r"} {
+		if tc.Complete([]byte(s)) {
+			t.Errorf("text Complete(%q) = true, want false", s)
+		}
+	}
+
+	wholeRESP := []string{
+		"*2\r\n$3\r\nGET\r\n$3\r\nfoo\r\n",
+		"*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$5\r\nhello\r\n",
+		"*1\r\n$4\r\nPING\r\n",
+		"PING\r\n",                   // inline
+		"*999\r\n",                   // bad array length: fatal from the header
+		"*2\r\n$3\r\nGET\r\n$zz\r\n", // bad bulk length: fatal at that header
+	}
+	var rcodec RESPCodec
+	for _, s := range wholeRESP {
+		if !rcodec.Complete([]byte(s)) {
+			t.Errorf("resp Complete(%q) = false, want true", s)
+		}
+	}
+	full := "*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$5\r\nhello\r\n"
+	for i := 1; i < len(full); i++ {
+		if rcodec.Complete([]byte(full[:i])) {
+			t.Errorf("resp Complete(%q) = true, want false", full[:i])
+		}
+	}
+	if rcodec.Complete(nil) {
+		t.Error("resp Complete(nil) = true")
+	}
+
+	// Complete-then-read agreement: for every whole command above,
+	// ReadCommand must resolve using only the buffered bytes (no EOF
+	// surprises besides the decidable-error cases).
+	for _, s := range wholeText {
+		if _, err := tc.ReadCommand(respReader(s)); err == io.EOF {
+			t.Errorf("text ReadCommand(%q) hit EOF after Complete said true", s)
+		}
+	}
+	for _, s := range wholeRESP {
+		if _, err := rcodec.ReadCommand(respReader(s)); err == io.EOF {
+			t.Errorf("resp ReadCommand(%q) hit EOF after Complete said true", s)
+		}
+	}
+}
+
+// TestBufferPool exercises the sized-class cycle.
+func TestBufferPool(t *testing.T) {
+	b := GetBuffer(0)
+	if len(b) != 0 || cap(b) < 4<<10 {
+		t.Fatalf("GetBuffer(0): len %d cap %d", len(b), cap(b))
+	}
+	b = append(b, "data"...)
+	PutBuffer(b)
+	big := GetBuffer(100 << 10)
+	if cap(big) < 100<<10 {
+		t.Fatalf("GetBuffer(100K): cap %d", cap(big))
+	}
+	PutBuffer(big)
+	PutBuffer(make([]byte, 0, 8<<20)) // oversized: dropped, must not panic
+}

@@ -1,0 +1,267 @@
+package server
+
+import (
+	"errors"
+
+	"valois/internal/proto"
+)
+
+// Batched execution: the connection loop (conn.go) drains every
+// fully-buffered request into a []batchEntry, execEntries runs them, and
+// the reply phase encodes all outcomes — in request order — into one
+// buffer written with a single syscall.
+//
+// Execution may reorder *keyed* commands (GET/SET/DELETE) within a batch
+// to group them by shard, which is what amortizes the per-op costs: one
+// shard lookup and one persist logMu acquisition per shard-group instead
+// of per command. The reordering is linearizability-safe: commands
+// pipelined in one batch are concurrent from the client's point of view
+// (it sent them all before reading any reply), and two commands on the
+// SAME key always hash to the same shard, where the group executes them
+// in batch order — so per-key program order is preserved, which is
+// exactly the guarantee a pipelined client can rely on.
+//
+// Non-keyed commands (RANGE, STATS, PING, QUIT) and read errors are
+// barriers: they split the batch into segments and never reorder across
+// keyed commands, so a RANGE observes every earlier write in its batch.
+
+// batchEntry is one request in a drained batch plus its outcome. The
+// slice of entries is connection-owned scratch, reused across batches.
+type batchEntry struct {
+	cmd     proto.Command
+	readErr error // parse outcome from the codec; nil for executable entries
+
+	shard int  // keyed commands: shard index, set during grouping
+	done  bool // keyed commands: already executed by an earlier group pass
+
+	val        []byte // GET result
+	found      bool   // GET hit / DELETE deleted
+	err        error  // persist append failure (SERVER_ERROR) or errRangeUnordered
+	rangeItems []kv   // RANGE result
+	statItems  []Stat // STATS result
+}
+
+// errRangeUnordered marks a RANGE on a backend without ordered
+// iteration; the reply phase turns it into the CLIENT_ERROR the
+// one-at-a-time path always produced.
+var errRangeUnordered = errors.New("range on unordered backend")
+
+func keyedVerb(v proto.Verb) bool {
+	return v == proto.VerbGet || v == proto.VerbSet || v == proto.VerbDelete
+}
+
+// execEntries executes a drained batch: maximal runs of consecutive
+// keyed commands execute shard-grouped; everything else executes in
+// place as a barrier.
+func (s *Server) execEntries(entries []batchEntry) {
+	i := 0
+	for i < len(entries) {
+		e := &entries[i]
+		if e.readErr != nil {
+			i++
+			continue
+		}
+		if !keyedVerb(e.cmd.Verb) {
+			s.execMisc(e)
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(entries) && entries[j].readErr == nil && keyedVerb(entries[j].cmd.Verb) {
+			j++
+		}
+		s.execKeyedRun(entries[i:j])
+		i = j
+	}
+}
+
+// execKeyedRun executes one run of keyed commands grouped by shard. The
+// scan is O(run × groups) with no allocation: for each not-yet-done
+// entry, execute it and then sweep forward for every later entry on the
+// same shard. A single-command run skips the grouping machinery — the
+// empty-pipeline fast path.
+func (s *Server) execKeyedRun(run []batchEntry) {
+	if len(run) == 1 {
+		s.execKeyedSingle(&run[0])
+		return
+	}
+	for k := range run {
+		run[k].shard = s.shardIndex(run[k].cmd.Key)
+	}
+	for k := range run {
+		if !run[k].done {
+			s.execShardGroup(run[k:], run[k].shard)
+		}
+	}
+}
+
+// execShardGroup executes every not-done entry in run that lives on
+// shard si, taking the shard's persist mutex at most once for the whole
+// group — the per-batch amortization of the logMu acquisition. The lock
+// is taken lazily on the first mutation, so a read-only group never
+// serializes against writers, and released via defer so a panicking
+// backend (see TestPanicIsolation) cannot leak it.
+func (s *Server) execShardGroup(run []batchEntry, si int) {
+	sh := s.shards[si]
+	locked := false
+	defer func() {
+		if locked {
+			sh.logMu.Unlock()
+		}
+	}()
+	for m := range run {
+		e := &run[m]
+		if e.done || e.shard != si {
+			continue
+		}
+		e.done = true
+		if !locked && s.log != nil && e.cmd.Verb != proto.VerbGet {
+			sh.logMu.Lock()
+			locked = true
+		}
+		s.execKeyedLocked(sh, e)
+	}
+}
+
+// execKeyedSingle is the ungrouped path: one keyed command, taking logMu
+// only if this command mutates and persistence is on.
+func (s *Server) execKeyedSingle(e *batchEntry) {
+	sh := s.shardFor(e.cmd.Key)
+	if s.log != nil && e.cmd.Verb != proto.VerbGet {
+		sh.logMu.Lock()
+		defer sh.logMu.Unlock()
+	}
+	s.execKeyedLocked(sh, e)
+}
+
+// execKeyedLocked executes one keyed command against its shard. Caller
+// holds sh.logMu whenever s.log != nil and the command mutates — the
+// apply-then-append ordering contract of persist.go.
+func (s *Server) execKeyedLocked(sh *shard, e *batchEntry) {
+	if s.panicHook != nil {
+		s.panicHook(e.cmd)
+	}
+	switch e.cmd.Verb {
+	case proto.VerbGet:
+		s.cmdGet.Add(1)
+		if v, ok := sh.d.Find(e.cmd.Key); ok {
+			s.getHits.Add(1)
+			e.val, e.found = v, true
+		} else {
+			s.getMisses.Add(1)
+		}
+
+	case proto.VerbSet:
+		s.cmdSet.Add(1)
+		sh.set(e.cmd.Key, e.cmd.Value)
+		if s.log != nil {
+			if err := s.log.Append(e.cmd); err != nil {
+				s.persistErrs.Add(1)
+				s.cfg.Logf("persist append: %v", err)
+				e.err = err
+			}
+		}
+
+	case proto.VerbDelete:
+		s.cmdDelete.Add(1)
+		deleted := sh.d.Delete(e.cmd.Key)
+		e.found = deleted
+		if deleted {
+			s.deleteHits.Add(1)
+		} else {
+			s.deleteMisses.Add(1)
+		}
+		// A miss mutates nothing and is not logged.
+		if deleted && s.log != nil {
+			if err := s.log.Append(proto.Command{Verb: proto.VerbDelete, Key: e.cmd.Key}); err != nil {
+				s.persistErrs.Add(1)
+				s.cfg.Logf("persist append: %v", err)
+				e.err = err
+			}
+		}
+	}
+}
+
+// execMisc executes a non-keyed command (a batch barrier).
+func (s *Server) execMisc(e *batchEntry) {
+	if s.panicHook != nil {
+		s.panicHook(e.cmd)
+	}
+	switch e.cmd.Verb {
+	case proto.VerbRange:
+		s.cmdRange.Add(1)
+		if !s.Ordered() {
+			s.protoErrs.Add(1)
+			e.err = errRangeUnordered
+			return
+		}
+		e.rangeItems = s.rangeMerged(e.cmd.Key, e.cmd.Count)
+	case proto.VerbStats:
+		s.cmdStats.Add(1)
+		e.statItems = s.Stats()
+	case proto.VerbPing, proto.VerbQuit:
+		// No work; the reply phase answers.
+	}
+}
+
+// appendEntryReply encodes one entry's outcome. quit is set when the
+// connection must close after the reply (QUIT, a fatal client error, or
+// a panic already handled by the caller).
+func (s *Server) appendEntryReply(codec proto.ServerCodec, dst []byte, e *batchEntry) (out []byte, quit bool) {
+	if e.readErr != nil {
+		var ce *proto.ClientError
+		switch {
+		case errors.As(e.readErr, &ce):
+			s.protoErrs.Add(1)
+			dst = codec.AppendClientError(dst, ce.Msg)
+			return dst, ce.Fatal
+		case errors.Is(e.readErr, proto.ErrUnknownVerb):
+			s.protoErrs.Add(1)
+			return codec.AppendUnknownVerb(dst), false
+		default:
+			// Transport error mid-command: the read deadline expired, the
+			// peer reset, or shutdown closed the socket. Nothing to say.
+			s.countNetErr(e.readErr)
+			return dst, true
+		}
+	}
+	switch e.cmd.Verb {
+	case proto.VerbGet:
+		dst = codec.AppendGetReply(dst, e.cmd.Key, e.val, e.found)
+	case proto.VerbSet:
+		if e.err != nil {
+			// Applied but not durably logged: indeterminate for the
+			// client (see persist.go), so SERVER_ERROR, not STORED.
+			dst = codec.AppendServerError(dst, "durability failure")
+		} else {
+			dst = codec.AppendSetReply(dst)
+		}
+	case proto.VerbDelete:
+		if e.err != nil {
+			dst = codec.AppendServerError(dst, "durability failure")
+		} else {
+			dst = codec.AppendDeleteReply(dst, e.found)
+		}
+	case proto.VerbRange:
+		if e.err != nil {
+			dst = codec.AppendClientError(dst, "RANGE requires an ordered backend (list, skiplist, bst)")
+			break
+		}
+		dst = codec.AppendRangeHeader(dst, len(e.rangeItems))
+		for _, item := range e.rangeItems {
+			dst = codec.AppendRangeItem(dst, item.key, item.value)
+		}
+		dst = codec.AppendRangeTrailer(dst)
+	case proto.VerbStats:
+		dst = codec.AppendStatsHeader(dst, len(e.statItems))
+		for _, st := range e.statItems {
+			dst = codec.AppendStatItem(dst, st.Name, st.Value)
+		}
+		dst = codec.AppendStatsTrailer(dst)
+	case proto.VerbPing:
+		dst = codec.AppendPong(dst)
+	case proto.VerbQuit:
+		return codec.AppendQuit(dst), true
+	}
+	return dst, false
+}

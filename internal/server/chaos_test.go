@@ -95,7 +95,7 @@ func bootServer(t *testing.T, cfg server.Config) (*server.Server, string, func()
 
 // dialChaos dials through the fault proxy, retrying because the proxy
 // kills a fraction of connections at accept time.
-func dialChaos(addr string) (*client.Client, error) {
+func dialChaos(addr, protocol string) (*client.Client, error) {
 	var err error
 	for i := 0; i < 20; i++ {
 		var c *client.Client
@@ -104,6 +104,7 @@ func dialChaos(addr string) (*client.Client, error) {
 			OpTimeout:      chaosOpTimeout,
 			Retries:        -1, // one logical op = one wire attempt
 			Backoff:        time.Millisecond,
+			Protocol:       protocol,
 		})
 		if err == nil {
 			return c, nil
@@ -145,7 +146,9 @@ func runChaos(t *testing.T, backend, mode string, seed int64) {
 		go func() {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed<<8 + int64(w)))
-			c, err := dialChaos(proxy.Addr())
+			// Workers alternate wire protocols: every seed of the chaos
+			// matrix faults text and RESP framing alike.
+			c, err := dialChaos(proxy.Addr(), protoFor(w))
 			if err != nil {
 				fatal <- fmt.Errorf("worker %d dial: %w", w, err)
 				return
@@ -236,7 +239,7 @@ func TestChaosCorruptionSurvival(t *testing.T) {
 			}()
 			for i := 0; i < opsPer; i++ {
 				if c == nil {
-					if c, _ = dialChaos(proxy.Addr()); c == nil {
+					if c, _ = dialChaos(proxy.Addr(), protoFor(w)); c == nil {
 						continue
 					}
 				}

@@ -2,9 +2,10 @@ package server
 
 import (
 	"bufio"
-	"errors"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"valois/internal/proto"
@@ -12,22 +13,30 @@ import (
 
 // conn is one client connection served by its own goroutine.
 //
+// Serving is batched (see batch.go): each loop iteration blocks for one
+// request, then drains every further request that is already fully
+// buffered — a pipelining client's whole burst — executes them as one
+// batch, and answers with a single write. A client that sends one
+// request at a time never batches and takes the same path it always did,
+// one command per iteration.
+//
 // Graceful shutdown protocol: Shutdown marks every conn closing. A conn
 // that is idle (blocked reading the next request) is closed immediately —
-// it has no request in flight. A conn that is busy executing a request
-// finishes it, flushes the reply, and then closes itself when it observes
-// the closing mark. Either way no accepted request is abandoned mid-way.
+// it has no request in flight. A conn that is busy executing a batch
+// finishes it, writes the replies, and then closes itself when it
+// observes the closing mark. Either way no accepted request is abandoned
+// mid-way.
 type conn struct {
 	srv *Server
 	nc  net.Conn
 
 	mu      sync.Mutex
-	busy    bool // between reading a request and flushing its reply
+	busy    bool // between reading a request and writing its reply
 	closing bool
 }
 
 // setBusy flips the busy flag and reports whether shutdown was requested,
-// so the handler can exit after finishing the current request.
+// so the handler can exit after finishing the current batch.
 func (c *conn) setBusy(b bool) (closing bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -37,7 +46,7 @@ func (c *conn) setBusy(b bool) (closing bool) {
 
 // beginShutdown is called (with srv.mu held) by Shutdown: idle conns are
 // unblocked by closing the socket; busy conns will see the mark after
-// their current request.
+// their current batch.
 func (c *conn) beginShutdown() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -47,15 +56,53 @@ func (c *conn) beginShutdown() {
 	}
 }
 
-const connBufSize = 16 << 10
+const (
+	connBufSize = 16 << 10
+
+	// maxBatch caps how many requests one drain may accumulate, bounding
+	// the entries scratch and the reply buffer a hostile pipeliner can
+	// make a single connection hold.
+	maxBatch = 256
+)
+
+// countingReader counts bytes read off the socket into the server's
+// bytes_in. It deliberately holds an io.Reader, not the net.Conn: the
+// deadline for each read is armed by the serve loop before blocking.
+type countingReader struct {
+	r io.Reader
+	n *atomic.Int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n.Add(int64(n))
+	return n, err
+}
+
+// newCodec picks the wire codec for a connection whose first byte is
+// first: the configured protocol, or — under auto — RESP exactly when
+// the client opens with a '*' array header, which no text command can.
+func (c *conn) newCodec(first byte) proto.ServerCodec {
+	switch c.srv.cfg.Protocol {
+	case proto.ProtocolText:
+		return &proto.TextCodec{}
+	case proto.ProtocolRESP:
+		return &proto.RESPCodec{}
+	default:
+		if first == '*' {
+			return &proto.RESPCodec{}
+		}
+		return &proto.TextCodec{}
+	}
+}
 
 func (c *conn) serve() {
 	defer c.srv.wg.Done()
 	defer c.srv.removeConn(c)
 	defer c.nc.Close()
 	// Last-resort panic isolation: a panic anywhere in this handler
-	// kills only this connection, never the server. The dispatch path
-	// has its own recover (dispatchSafe) that still answers the client;
+	// kills only this connection, never the server. The execution path
+	// has its own recover (execAndReply) that still answers the client;
 	// this one catches framework-level bugs.
 	defer func() {
 		if r := recover(); r != nil {
@@ -64,18 +111,23 @@ func (c *conn) serve() {
 		}
 	}()
 
-	br := bufio.NewReaderSize(c.nc, connBufSize)
-	bw := bufio.NewWriterSize(c.nc, connBufSize)
+	br := bufio.NewReaderSize(&countingReader{r: c.nc, n: &c.srv.bytesIn}, connBufSize)
+	var codec proto.ServerCodec // chosen from the first byte, once
+	entries := make([]batchEntry, 0, 16)
 	for {
 		// Idle deadline: how long the client may think between requests.
 		if d := c.srv.cfg.IdleTimeout; d > 0 {
 			c.nc.SetReadDeadline(time.Now().Add(d))
 		}
-		if _, err := br.Peek(1); err != nil {
+		first, err := br.Peek(1)
+		if err != nil {
 			// No request started: a clean disconnect, an idle-deadline
 			// expiry, or a reset while the connection sat idle.
 			c.srv.countNetErr(err)
 			return
+		}
+		if codec == nil {
+			codec = c.newCodec(first[0])
 		}
 		// Read deadline: once a request's first byte exists, the whole
 		// command must arrive within ReadTimeout — a slow-loris client
@@ -83,147 +135,96 @@ func (c *conn) serve() {
 		if d := c.srv.cfg.ReadTimeout; d > 0 {
 			c.nc.SetReadDeadline(time.Now().Add(d))
 		}
-		cmd, err := proto.ReadCommand(br)
-		if err != nil {
-			if !c.replyReadError(bw, err) {
-				return
-			}
-			continue
-		}
+		entries = c.readBatch(codec, br, entries[:0])
 		if c.setBusy(true) {
 			// Shutdown won the race before we started executing; the
-			// request was read but not begun, so dropping it is safe.
+			// batch was read but not begun, so dropping it is safe.
 			return
 		}
-		quit := c.dispatchSafe(bw, cmd)
-		flushErr := c.flush(bw)
+		out, quit := c.execAndReply(codec, entries, proto.GetBuffer(0))
+		werr := c.writeReply(out)
+		proto.PutBuffer(out)
 		closing := c.setBusy(false)
-		if quit || closing || flushErr != nil {
+		if quit || closing || werr != nil {
 			return
 		}
 	}
 }
 
-// flush writes the buffered reply under the write deadline, classifying
-// failures into the connection-health counters.
-func (c *conn) flush(bw *bufio.Writer) error {
+// readBatch reads one request — blocking for it, the caller armed the
+// deadline — then drains every request that is already fully buffered,
+// so a pipelined burst becomes one batch. Complete() guards each extra
+// read: ReadCommand is only called when the buffer provably holds a
+// whole request (or a decidable error that consumes only buffered
+// bytes), so draining never blocks on the socket. The drain stops at the
+// first read error or QUIT — nothing after either gets a reply, so
+// nothing after either may execute.
+func (c *conn) readBatch(codec proto.ServerCodec, br *bufio.Reader, entries []batchEntry) []batchEntry {
+	for {
+		cmd, err := codec.ReadCommand(br)
+		entries = append(entries, batchEntry{cmd: cmd, readErr: err})
+		if err != nil || cmd.Verb == proto.VerbQuit {
+			return entries
+		}
+		if c.srv.cfg.NoBatch || len(entries) >= maxBatch {
+			return entries
+		}
+		n := br.Buffered()
+		if n == 0 {
+			return entries
+		}
+		buffered, _ := br.Peek(n)
+		if !codec.Complete(buffered) {
+			return entries
+		}
+	}
+}
+
+// execAndReply executes a batch and encodes every reply, in request
+// order, into dst. A panic during execution answers SERVER_ERROR in
+// place of the batch's replies and closes this connection (execution may
+// have half-happened, so per-entry replies cannot be trusted), while
+// every other connection keeps being served.
+func (c *conn) execAndReply(codec proto.ServerCodec, entries []batchEntry, dst []byte) (out []byte, quit bool) {
+	out = dst
+	defer func() {
+		if r := recover(); r != nil {
+			c.srv.connPanics.Add(1)
+			c.srv.cfg.Logf("connection %v: exec panic: %v", c.nc.RemoteAddr(), r)
+			out = codec.AppendServerError(out[:0], "internal error")
+			quit = true
+		}
+	}()
+	c.srv.execEntries(entries)
+	if len(entries) > 1 {
+		c.srv.batches.Add(1)
+		c.srv.batchedOps.Add(int64(len(entries)))
+	}
+	for i := range entries {
+		var q bool
+		out, q = c.srv.appendEntryReply(codec, out, &entries[i])
+		if q {
+			// Only the batch's last entry can quit (the drain stops at
+			// QUIT and read errors), so no reply is being skipped.
+			return out, true
+		}
+	}
+	return out, false
+}
+
+// writeReply sends a batch's replies with one write under the write
+// deadline, classifying failures into the connection-health counters.
+func (c *conn) writeReply(buf []byte) error {
+	if len(buf) == 0 {
+		return nil
+	}
 	if d := c.srv.cfg.WriteTimeout; d > 0 {
 		c.nc.SetWriteDeadline(time.Now().Add(d))
 	}
-	err := bw.Flush()
+	n, err := c.nc.Write(buf)
+	c.srv.bytesOut.Add(int64(n))
 	if err != nil {
 		c.srv.countNetErr(err)
 	}
 	return err
-}
-
-// dispatchSafe executes one command with panic isolation: a panicking
-// dispatch answers SERVER_ERROR and closes this connection (the reply
-// buffer may hold a half-written reply, so framing cannot be trusted
-// afterwards), while every other connection keeps being served.
-func (c *conn) dispatchSafe(bw *bufio.Writer, cmd proto.Command) (quit bool) {
-	defer func() {
-		if r := recover(); r != nil {
-			c.srv.connPanics.Add(1)
-			c.srv.cfg.Logf("connection %v: %s dispatch panic: %v", c.nc.RemoteAddr(), cmd.Verb, r)
-			proto.WriteServerError(bw, "internal error")
-			quit = true
-		}
-	}()
-	return c.srv.dispatch(bw, cmd)
-}
-
-// replyReadError answers a failed ReadCommand and reports whether the
-// connection should keep reading. Malformed requests draw an error reply;
-// framing-destroying ones additionally close the connection; socket errors
-// just close.
-func (c *conn) replyReadError(bw *bufio.Writer, err error) (keepGoing bool) {
-	var ce *proto.ClientError
-	switch {
-	case errors.As(err, &ce):
-		c.srv.protoErrs.Add(1)
-		proto.WriteClientError(bw, ce.Msg)
-		c.flush(bw)
-		return !ce.Fatal
-	case errors.Is(err, proto.ErrUnknownVerb):
-		c.srv.protoErrs.Add(1)
-		proto.WriteError(bw)
-		return c.flush(bw) == nil
-	default:
-		// io error mid-command: the read deadline expired, the peer
-		// reset, or shutdown closed the socket.
-		c.srv.countNetErr(err)
-		return false
-	}
-}
-
-// dispatch executes one command and writes (not flushes) its reply,
-// reporting whether the connection should close (QUIT).
-func (s *Server) dispatch(bw *bufio.Writer, cmd proto.Command) (quit bool) {
-	if s.panicHook != nil {
-		s.panicHook(cmd)
-	}
-	switch cmd.Verb {
-	case proto.VerbGet:
-		s.cmdGet.Add(1)
-		if v, ok := s.shardFor(cmd.Key).d.Find(cmd.Key); ok {
-			s.getHits.Add(1)
-			proto.WriteValue(bw, cmd.Key, v)
-		} else {
-			s.getMisses.Add(1)
-		}
-		proto.WriteLine(bw, proto.ReplyEnd)
-
-	case proto.VerbSet:
-		s.cmdSet.Add(1)
-		if err := s.applySet(cmd.Key, cmd.Value); err != nil {
-			// The apply happened but the log append failed: the outcome
-			// is indeterminate for the client (see persist.go), so answer
-			// SERVER_ERROR rather than STORED.
-			s.persistErrs.Add(1)
-			s.cfg.Logf("persist append: %v", err)
-			proto.WriteServerError(bw, "durability failure")
-		} else {
-			proto.WriteLine(bw, proto.ReplyStored)
-		}
-
-	case proto.VerbDelete:
-		s.cmdDelete.Add(1)
-		deleted, err := s.applyDelete(cmd.Key)
-		switch {
-		case err != nil:
-			s.persistErrs.Add(1)
-			s.cfg.Logf("persist append: %v", err)
-			proto.WriteServerError(bw, "durability failure")
-		case deleted:
-			s.deleteHits.Add(1)
-			proto.WriteLine(bw, proto.ReplyDeleted)
-		default:
-			s.deleteMisses.Add(1)
-			proto.WriteLine(bw, proto.ReplyNotFound)
-		}
-
-	case proto.VerbRange:
-		s.cmdRange.Add(1)
-		if !s.Ordered() {
-			s.protoErrs.Add(1)
-			proto.WriteClientError(bw, "RANGE requires an ordered backend (list, skiplist, bst)")
-			return false
-		}
-		for _, item := range s.rangeMerged(cmd.Key, cmd.Count) {
-			proto.WriteValue(bw, item.key, item.value)
-		}
-		proto.WriteLine(bw, proto.ReplyEnd)
-
-	case proto.VerbStats:
-		s.cmdStats.Add(1)
-		for _, st := range s.Stats() {
-			proto.WriteStat(bw, st.Name, st.Value)
-		}
-		proto.WriteLine(bw, proto.ReplyEnd)
-
-	case proto.VerbQuit:
-		return true
-	}
-	return false
 }

@@ -167,11 +167,12 @@ func (p *valoisdProc) term(t *testing.T) error {
 	}
 }
 
-func dialDirect(addr string) (*client.Client, error) {
+func dialDirect(addr, protocol string) (*client.Client, error) {
 	return client.Dial(addr, client.Options{
 		ConnectTimeout: 2 * time.Second,
 		OpTimeout:      5 * time.Second,
 		Retries:        -1, // one logical op = one wire attempt (see chaos_test.go)
+		Protocol:       protocol,
 	})
 }
 
@@ -231,7 +232,9 @@ func runCrashRestart(t *testing.T, bin, backend, mode string, seed int64, snapsh
 			}
 			if c == nil {
 				var err error
-				if c, err = dialDirect(addr); err != nil {
+				// Workers alternate wire protocols, so recovery is
+				// exercised under mixed text/RESP traffic.
+				if c, err = dialDirect(addr, protoFor(w)); err != nil {
 					// The kill landed (or is about to); wait for the stop
 					// signal rather than spinning on a dead address.
 					select {
@@ -290,7 +293,7 @@ func runCrashRestart(t *testing.T, bin, backend, mode string, seed int64, snapsh
 	// have it, which turns "recovery happened" into a deterministic
 	// assertion rather than a counter heuristic.
 	sentinel := fmt.Sprintf("alive-%d", seed)
-	sc, err := dialDirect(p1.addr)
+	sc, err := dialDirect(p1.addr, protoFor(int(seed)))
 	if err != nil {
 		close(stopCh)
 		wg.Wait()
@@ -311,7 +314,7 @@ func runCrashRestart(t *testing.T, bin, backend, mode string, seed int64, snapsh
 	// Phase 2: restart from the same directory; acknowledged state must
 	// be there, and the merged history must stay linearizable.
 	p2 := startValoisd(t, bin, args...)
-	c2, err := dialDirect(p2.addr)
+	c2, err := dialDirect(p2.addr, protoFor(int(seed)+1))
 	if err != nil {
 		t.Fatalf("%s: dial after restart: %v", replay, err)
 	}

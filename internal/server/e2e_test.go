@@ -71,7 +71,9 @@ func runOracle(t *testing.T, cfg server.Config, keysPerG int) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			c, err := client.Dial(addr, client.Options{})
+			// Goroutines alternate wire protocols against the one
+			// auto-detecting server.
+			c, err := client.Dial(addr, client.Options{Protocol: protoFor(g)})
 			if err != nil {
 				errs <- fmt.Errorf("goroutine %d: dial: %w", g, err)
 				return

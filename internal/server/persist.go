@@ -24,6 +24,12 @@ import (
 // structures, and mutations in different shards never serialize against
 // each other.
 //
+// The mutation path itself lives in batch.go (execKeyedLocked): the
+// batched executor takes logMu once per shard-group — one acquisition
+// covering every mutation a pipelined batch sends to that shard — and
+// applies then appends each command in batch order under it, which
+// preserves this contract while amortizing the lock.
+//
 // If the append itself fails (disk full, log closed mid-shutdown), the
 // in-memory apply has already happened: memory and disk have diverged.
 // The client gets SERVER_ERROR — which the chaos harness records as a
@@ -61,36 +67,6 @@ func (s *Server) applyRecovered(cmd proto.Command) error {
 		return fmt.Errorf("server: log record with non-mutation verb %s", cmd.Verb)
 	}
 	return nil
-}
-
-// applySet is the SET mutation path: apply to the shard, then append to
-// the log, both under the shard's logMu (see the ordering contract
-// above). Without persistence it is just the lock-free upsert.
-func (s *Server) applySet(key string, value []byte) error {
-	sh := s.shardFor(key)
-	if s.log == nil {
-		sh.set(key, value)
-		return nil
-	}
-	sh.logMu.Lock()
-	defer sh.logMu.Unlock()
-	sh.set(key, value)
-	return s.log.Append(proto.Command{Verb: proto.VerbSet, Key: key, Value: value})
-}
-
-// applyDelete is the DELETE mutation path. A miss mutates nothing and is
-// not logged.
-func (s *Server) applyDelete(key string) (deleted bool, err error) {
-	sh := s.shardFor(key)
-	if s.log == nil {
-		return sh.d.Delete(key), nil
-	}
-	sh.logMu.Lock()
-	defer sh.logMu.Unlock()
-	if !sh.d.Delete(key) {
-		return false, nil
-	}
-	return true, s.log.Append(proto.Command{Verb: proto.VerbDelete, Key: key})
 }
 
 // Snapshot runs one snapshot compaction cycle: rotate the AOF, then

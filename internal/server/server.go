@@ -14,7 +14,6 @@
 package server
 
 import (
-	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -84,6 +83,19 @@ type Config struct {
 	// conn_rejected); the accept loop itself never blocks on them.
 	// Default 0 = unlimited.
 	MaxConns int
+
+	// Protocol selects the wire protocol served: proto.ProtocolText,
+	// proto.ProtocolRESP, or proto.ProtocolAuto (the default), which
+	// sniffs each connection from its first byte — '*' opens a RESP
+	// array, anything else is the text protocol. (A RESP client that
+	// opens with an inline command is indistinguishable from text; use
+	// the forced setting for inline-only clients.)
+	Protocol string
+	// NoBatch disables pipelined batch draining: each loop iteration
+	// reads, executes, and answers exactly one command. For comparison
+	// runs and bisection; the default (false) drains every fully
+	// buffered command into one batched execution.
+	NoBatch bool
 
 	// PersistDir, when non-empty, enables durability: state is recovered
 	// from this directory at New (latest snapshot + append-only log
@@ -185,6 +197,12 @@ type Server struct {
 	getMisses    atomic.Int64
 	deleteHits   atomic.Int64
 	deleteMisses atomic.Int64
+
+	// Wire-level counters (the batched serving path, conn.go/batch.go).
+	batches    atomic.Int64 // batches of size ≥ 2 executed
+	batchedOps atomic.Int64 // commands that rode in those batches
+	bytesIn    atomic.Int64 // bytes read off client sockets
+	bytesOut   atomic.Int64 // bytes written to client sockets
 }
 
 // New returns a configured server with its shards allocated.
@@ -212,6 +230,13 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
+	}
+	switch cfg.Protocol {
+	case "":
+		cfg.Protocol = proto.ProtocolAuto
+	case proto.ProtocolText, proto.ProtocolRESP, proto.ProtocolAuto:
+	default:
+		return nil, fmt.Errorf("server: unknown protocol %q (want text, resp, or auto)", cfg.Protocol)
 	}
 	var mode mm.Mode
 	switch cfg.Mode {
@@ -303,9 +328,15 @@ func (s *Server) Ordered() bool { return s.shards[0].ord != nil }
 // persistence is disabled or the directory was empty).
 func (s *Server) Recovery() persist.RecoveryInfo { return s.recovery }
 
+// shardIndex hashes a key to its shard's index; the batch executor uses
+// the index directly to group same-shard commands.
+func (s *Server) shardIndex(key string) int {
+	return int(dict.HashString(key) % uint64(len(s.shards)))
+}
+
 // shardFor hashes a key to its shard.
 func (s *Server) shardFor(key string) *shard {
-	return s.shards[dict.HashString(key)%uint64(len(s.shards))]
+	return s.shards[s.shardIndex(key)]
 }
 
 // set is an upsert: the paper's Insert (Figure 12) refuses duplicate keys
@@ -399,15 +430,21 @@ func (s *Server) Serve(ln net.Listener) error {
 }
 
 // rejectConn answers a connection over the MaxConns cap: one
-// SERVER_ERROR line under a short write deadline, then close. It runs on
-// its own goroutine so a rejected client that refuses to read cannot
-// stall the accept loop.
+// SERVER_ERROR reply under a short write deadline, then close. It runs
+// on its own goroutine so a rejected client that refuses to read cannot
+// stall the accept loop. Nothing has been read from the connection, so
+// auto-detect is impossible; only a forced RESP configuration rejects in
+// RESP framing.
 func (s *Server) rejectConn(nc net.Conn) {
 	defer s.wg.Done()
 	nc.SetWriteDeadline(time.Now().Add(time.Second))
-	bw := bufio.NewWriter(nc)
-	proto.WriteServerError(bw, "too many connections")
-	bw.Flush()
+	var msg []byte
+	if s.cfg.Protocol == proto.ProtocolRESP {
+		msg = proto.AppendRESPError(nil, "SERVER_ERROR", "too many connections")
+	} else {
+		msg = []byte("SERVER_ERROR too many connections\r\n")
+	}
+	nc.Write(msg)
 	nc.Close()
 }
 
@@ -522,6 +559,13 @@ func (s *Server) Stats() []Stat {
 		{"delete_hits", n(s.deleteHits.Load())},
 		{"delete_misses", n(s.deleteMisses.Load())},
 		{"protocol_errors", n(s.protoErrs.Load())},
+		// Wire counters: batches of pipelined commands executed as one
+		// dispatch, how many commands rode in them, and raw socket bytes
+		// in each direction.
+		{"batches", n(s.batches.Load())},
+		{"batched_ops", n(s.batchedOps.Load())},
+		{"bytes_in", n(s.bytesIn.Load())},
+		{"bytes_out", n(s.bytesOut.Load())},
 		// Connection-health counters (the hardening layer): deadline
 		// cuts, peer resets, MaxConns rejections, recovered panics.
 		{"conn_timeouts", n(s.connTimeouts.Load())},

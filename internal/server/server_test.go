@@ -45,8 +45,12 @@ func startServer(t *testing.T, cfg server.Config) (*server.Server, string) {
 }
 
 func dialTest(t *testing.T, addr string) *client.Client {
+	return dialTestProto(t, addr, proto.ProtocolText)
+}
+
+func dialTestProto(t *testing.T, addr, protocol string) *client.Client {
 	t.Helper()
-	c, err := client.Dial(addr, client.Options{})
+	c, err := client.Dial(addr, client.Options{Protocol: protocol})
 	if err != nil {
 		t.Fatalf("Dial: %v", err)
 	}
@@ -54,45 +58,57 @@ func dialTest(t *testing.T, addr string) *client.Client {
 	return c
 }
 
+// protoFor alternates wire protocols by index, so a suite's worker pool
+// exercises text and RESP against the same auto-detecting server in the
+// same run.
+func protoFor(i int) string {
+	if i%2 == 1 {
+		return proto.ProtocolRESP
+	}
+	return proto.ProtocolText
+}
+
 func TestServerBasicOps(t *testing.T) {
 	for _, backend := range server.Backends() {
 		for _, mode := range []string{"gc", "rc"} {
-			t.Run(backend+"/"+mode, func(t *testing.T) {
-				_, addr := startServer(t, server.Config{Backend: backend, Mode: mode, Shards: 4, Buckets: 64})
-				c := dialTest(t, addr)
+			for _, protocol := range []string{proto.ProtocolText, proto.ProtocolRESP} {
+				t.Run(backend+"/"+mode+"/"+protocol, func(t *testing.T) {
+					_, addr := startServer(t, server.Config{Backend: backend, Mode: mode, Shards: 4, Buckets: 64})
+					c := dialTestProto(t, addr, protocol)
 
-				if _, found, err := c.Get("missing"); err != nil || found {
-					t.Fatalf("Get(missing) = %v found=%v, want miss", err, found)
-				}
-				if err := c.Set("k1", []byte("v1")); err != nil {
-					t.Fatalf("Set: %v", err)
-				}
-				if v, found, err := c.Get("k1"); err != nil || !found || string(v) != "v1" {
-					t.Fatalf("Get(k1) = %q,%v,%v; want v1", v, found, err)
-				}
-				// SET replaces: the server upserts even though the paper's
-				// Insert refuses duplicates.
-				if err := c.Set("k1", []byte("v2")); err != nil {
-					t.Fatalf("Set overwrite: %v", err)
-				}
-				if v, _, _ := c.Get("k1"); string(v) != "v2" {
-					t.Fatalf("Get after overwrite = %q, want v2", v)
-				}
-				if deleted, err := c.Delete("k1"); err != nil || !deleted {
-					t.Fatalf("Delete(k1) = %v,%v; want true", deleted, err)
-				}
-				if deleted, err := c.Delete("k1"); err != nil || deleted {
-					t.Fatalf("second Delete(k1) = %v,%v; want false", deleted, err)
-				}
-				// Binary-safe values.
-				raw := []byte("line1\r\nline2\x00\xff")
-				if err := c.Set("bin", raw); err != nil {
-					t.Fatalf("Set binary: %v", err)
-				}
-				if v, _, _ := c.Get("bin"); !bytes.Equal(v, raw) {
-					t.Fatalf("Get binary = %q, want %q", v, raw)
-				}
-			})
+					if _, found, err := c.Get("missing"); err != nil || found {
+						t.Fatalf("Get(missing) = %v found=%v, want miss", err, found)
+					}
+					if err := c.Set("k1", []byte("v1")); err != nil {
+						t.Fatalf("Set: %v", err)
+					}
+					if v, found, err := c.Get("k1"); err != nil || !found || string(v) != "v1" {
+						t.Fatalf("Get(k1) = %q,%v,%v; want v1", v, found, err)
+					}
+					// SET replaces: the server upserts even though the paper's
+					// Insert refuses duplicates.
+					if err := c.Set("k1", []byte("v2")); err != nil {
+						t.Fatalf("Set overwrite: %v", err)
+					}
+					if v, _, _ := c.Get("k1"); string(v) != "v2" {
+						t.Fatalf("Get after overwrite = %q, want v2", v)
+					}
+					if deleted, err := c.Delete("k1"); err != nil || !deleted {
+						t.Fatalf("Delete(k1) = %v,%v; want true", deleted, err)
+					}
+					if deleted, err := c.Delete("k1"); err != nil || deleted {
+						t.Fatalf("second Delete(k1) = %v,%v; want false", deleted, err)
+					}
+					// Binary-safe values.
+					raw := []byte("line1\r\nline2\x00\xff")
+					if err := c.Set("bin", raw); err != nil {
+						t.Fatalf("Set binary: %v", err)
+					}
+					if v, _, _ := c.Get("bin"); !bytes.Equal(v, raw) {
+						t.Fatalf("Get binary = %q, want %q", v, raw)
+					}
+				})
+			}
 		}
 	}
 }
@@ -145,8 +161,14 @@ func TestServerRangeUnorderedBackend(t *testing.T) {
 }
 
 func TestServerStats(t *testing.T) {
+	for _, protocol := range []string{proto.ProtocolText, proto.ProtocolRESP} {
+		t.Run(protocol, func(t *testing.T) { testServerStats(t, protocol) })
+	}
+}
+
+func testServerStats(t *testing.T, protocol string) {
 	_, addr := startServer(t, server.Config{Backend: server.BackendList, Mode: "rc", Shards: 2})
-	c := dialTest(t, addr)
+	c := dialTestProto(t, addr, protocol)
 	for i := 0; i < 10; i++ {
 		if err := c.Set(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
 			t.Fatalf("Set: %v", err)

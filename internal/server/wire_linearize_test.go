@@ -41,7 +41,9 @@ func runWireLinearizable(t *testing.T, backend, mode string, seed int64) {
 		go func() {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed<<8 + int64(w)))
-			c := dialTest(t, addr)
+			// Workers alternate wire protocols, so every seed checks
+			// text and RESP traffic interleaved on one server.
+			c := dialTestProto(t, addr, protoFor(w))
 			for i := 0; i < opsPer; i++ {
 				k, ok := h.pickKey(rng.Intn)
 				if !ok {

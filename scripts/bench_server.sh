@@ -1,0 +1,112 @@
+#!/bin/sh
+# bench_server.sh — the serving-path benchmark behind `make bench-server`
+# and the committed BENCH_server.json. Builds valoisd and lfload, boots
+# the daemon on an ephemeral loopback port, and runs the comparison arms
+# the wire redesign is about:
+#
+#   1. text,  closed loop   (pipeline=1)  — the historical baseline shape
+#   2. text,  pipelined                   — batching without the protocol
+#   3. resp,  pipelined                   — the headline arm, recorded to
+#                                           $BENCH_JSON (BENCH_server.json)
+#   4. resp,  pipelined, -batch=false     — same wire load with batched
+#                                           execution disabled, isolating
+#                                           the executor's contribution
+#
+# The default backend is hash/gc: this benchmark is the wire path's
+# scoreboard, and the O(1) backend keeps dictionary cost out of the
+# denominator (on the 1-CPU bench host, skiplist descent alone costs
+# ~5µs/op — more than the entire batched wire path — and the structures
+# have their own scoreboard, BENCH_E10.json). Set BENCH_BACKEND /
+# BENCH_MODE to measure a specific structure instead.
+#
+# Environment knobs:
+#   BENCH_DURATION  per-arm measured duration      (default 5s)
+#   BENCH_CONNS     connections for the closed arm (default 64)
+#   BENCH_PIPECONNS connections for pipelined arms (default 2)
+#   BENCH_PIPELINE  pipeline depth                 (default 48)
+#   BENCH_BACKEND   server backend                 (default hash)
+#   BENCH_MODE      memory mode                    (default gc)
+#   BENCH_JSON      report path for arm 3          (default BENCH_server.json)
+set -eu
+
+DURATION=${BENCH_DURATION:-5s}
+CONNS=${BENCH_CONNS:-64}
+PIPECONNS=${BENCH_PIPECONNS:-2}
+PIPELINE=${BENCH_PIPELINE:-48}
+BACKEND=${BENCH_BACKEND:-hash}
+MODE=${BENCH_MODE:-gc}
+JSON=${BENCH_JSON:-BENCH_server.json}
+
+workdir=$(mktemp -d)
+server_pid=
+cleanup() {
+    if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+        kill -KILL "$server_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "bench-server: building valoisd and lfload"
+go build -o "$workdir/valoisd" ./cmd/valoisd
+go build -o "$workdir/lfload" ./cmd/lfload
+
+wait_addr() {
+    addr=
+    i=0
+    while [ $i -lt 50 ]; do
+        addr=$(sed -n 's/.*serving on \([0-9.:]*\) .*/\1/p' "$1" | head -n 1)
+        [ -n "$addr" ] && return 0
+        if ! kill -0 "$2" 2>/dev/null; then
+            echo "bench-server: valoisd exited before serving:" >&2
+            cat "$1" >&2
+            return 1
+        fi
+        i=$((i + 1))
+        sleep 0.1
+    done
+    echo "bench-server: timed out waiting for valoisd to listen:" >&2
+    cat "$1" >&2
+    return 1
+}
+
+start_server() { # start_server LOGNAME [extra args...]
+    log="$workdir/$1.log"
+    shift
+    "$workdir/valoisd" -addr 127.0.0.1:0 -backend "$BACKEND" -mode "$MODE" "$@" \
+        >"$log" 2>&1 &
+    server_pid=$!
+    wait_addr "$log" "$server_pid"
+}
+
+stop_server() {
+    kill -TERM "$server_pid"
+    set +e
+    wait "$server_pid"
+    set -e
+    server_pid=
+}
+
+start_server batched
+
+echo "bench-server: arm 1/4 — text, closed loop ($CONNS conns)"
+"$workdir/lfload" -addr "$addr" -conns "$CONNS" -d "$DURATION" \
+    -mix mixed -prefill 1024 -json ""
+
+echo "bench-server: arm 2/4 — text, pipeline=$PIPELINE ($PIPECONNS conns)"
+"$workdir/lfload" -addr "$addr" -conns "$PIPECONNS" -d "$DURATION" \
+    -mix mixed -prefill 1024 -pipeline "$PIPELINE" -json ""
+
+echo "bench-server: arm 3/4 — resp, pipeline=$PIPELINE ($PIPECONNS conns) -> $JSON"
+"$workdir/lfload" -addr "$addr" -conns "$PIPECONNS" -d "$DURATION" \
+    -mix mixed -prefill 1024 -protocol resp -pipeline "$PIPELINE" -json "$JSON"
+
+stop_server
+start_server nobatch -batch=false
+
+echo "bench-server: arm 4/4 — resp, pipeline=$PIPELINE, batched execution off"
+"$workdir/lfload" -addr "$addr" -conns "$PIPECONNS" -d "$DURATION" \
+    -mix mixed -prefill 1024 -protocol resp -pipeline "$PIPELINE" -json ""
+
+stop_server
+echo "bench-server: done; report in $JSON"

@@ -1,17 +1,20 @@
 #!/bin/sh
 # smoke.sh — end-to-end smoke test of the serving path, as run by
 # `make smoke` and CI: build valoisd and lfload, boot the server on an
-# ephemeral loopback port, drive it with >= 64 concurrent connections,
-# then SIGTERM the server and require a graceful (exit 0) drain.
+# ephemeral loopback port, drive it with >= 64 concurrent connections
+# over the text protocol, then again over RESP with pipelining (the
+# batched execution path), then SIGTERM the server and require a
+# graceful (exit 0) drain.
 # A second phase smoke-tests durability: boot with -aof -fsync always,
 # store a key with valoisctl, SIGKILL the server, restart it on the same
-# data directory, and require the key back.
+# data directory, and require the key back over both protocols.
 #
 # Environment knobs:
 #   SMOKE_CONNS     concurrent lfload connections (default 64)
 #   SMOKE_DURATION  measured load duration       (default 3s)
 #   SMOKE_BACKEND   server backend               (default skiplist)
 #   SMOKE_MODE      memory mode: gc or rc        (default rc)
+#   SMOKE_PIPELINE  RESP-phase pipeline depth    (default 8)
 #   SMOKE_JSON      lfload JSON report path      (default: none)
 set -eu
 
@@ -19,6 +22,7 @@ CONNS=${SMOKE_CONNS:-64}
 DURATION=${SMOKE_DURATION:-3s}
 BACKEND=${SMOKE_BACKEND:-skiplist}
 MODE=${SMOKE_MODE:-rc}
+PIPELINE=${SMOKE_PIPELINE:-8}
 JSON=${SMOKE_JSON:-}
 
 workdir=$(mktemp -d)
@@ -63,9 +67,22 @@ server_pid=$!
 
 wait_addr "$workdir/valoisd.log" "$server_pid"
 
-echo "smoke: loading $addr with $CONNS connections for $DURATION"
+echo "smoke: loading $addr with $CONNS connections for $DURATION (text)"
 "$workdir/lfload" -addr "$addr" -conns "$CONNS" -d "$DURATION" \
     -mix mixed -prefill 1024 -json "$JSON"
+
+echo "smoke: loading $addr with $CONNS connections for $DURATION (resp, pipeline=$PIPELINE)"
+"$workdir/lfload" -addr "$addr" -conns "$CONNS" -d "$DURATION" \
+    -mix mixed -protocol resp -pipeline "$PIPELINE" -json ""
+
+echo "smoke: valoisctl over RESP (set/get/ping)"
+"$workdir/valoisctl" -addr "$addr" -protocol resp set smoke-resp binary-safe
+got=$("$workdir/valoisctl" -addr "$addr" -protocol resp get smoke-resp)
+if [ "$got" != "binary-safe" ]; then
+    echo "smoke: RESP get came back as '$got', want 'binary-safe'" >&2
+    exit 1
+fi
+"$workdir/valoisctl" -addr "$addr" -protocol resp ping >/dev/null
 
 echo "smoke: SIGTERM — server must drain and exit 0"
 kill -TERM "$server_pid"
@@ -122,6 +139,16 @@ got=$("$workdir/valoisctl" -addr "$addr" get smoke-durable) || {
 }
 if [ "$got" != "survives-sigkill" ]; then
     echo "smoke: durable key came back as '$got', want 'survives-sigkill'" >&2
+    exit 1
+fi
+# The same recovered key must read back over RESP — both wire protocols
+# front the same recovered store.
+got=$("$workdir/valoisctl" -addr "$addr" -protocol resp get smoke-durable) || {
+    echo "smoke: durable key missing over RESP after restart" >&2
+    exit 1
+}
+if [ "$got" != "survives-sigkill" ]; then
+    echo "smoke: RESP durable key came back as '$got', want 'survives-sigkill'" >&2
     exit 1
 fi
 kill -TERM "$server_pid"
