@@ -72,12 +72,14 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# bench-quick runs the free-list contention experiment (E10) at reduced
-# iterations — a CI-speed regression check that the striped free list
-# still beats the single head under multiprogramming. The committed
-# BENCH_E10.json is from the full run: go run ./cmd/lfbench -e E10 -json-dir .
+# bench-quick runs the free-list contention experiment (E10) and the
+# memory-mode comparison (E11) at reduced iterations — a CI-speed
+# regression check that the striped free list still beats the single head
+# and that mode=ebr traversal stays below rc with zero leaked cells. The
+# committed BENCH_E10.json / BENCH_E11.json are from the full run:
+# go run ./cmd/lfbench -e E10,E11 -json-dir .
 bench-quick:
-	$(GO) run ./cmd/lfbench -e E10 -quick -d 50ms
+	$(GO) run ./cmd/lfbench -e E10,E11 -quick -d 50ms
 
 fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzDictionarySemantics -fuzztime=$(FUZZTIME) ./internal/dict

@@ -334,8 +334,9 @@ func fine() int { return 1 }
 // the code shapes they exist for: the serving tree is clean, so this test
 // plants one violation per analyzer — a leaked handler goroutine, a
 // deadline-less connection read, an unpaced CAS retry, a post-publication
-// field write, and a reference abandoned on a panic exit — in a temp
-// module and requires each to be detected through the real binary.
+// field write, a reference abandoned on a panic exit, an epoch guard
+// that escapes Unpin on an early return, and one discarded outright — in
+// a temp module and requires each to be detected through the real binary.
 func TestPlantAndDetect(t *testing.T) {
 	_, runIn := build(t)
 	dir := t.TempDir()
@@ -434,6 +435,40 @@ func snapshot() int {
 	Release(q)
 	return v
 }
+
+type guard struct{ slot *int }
+
+var pins atomic.Int64
+
+// Pin opens an epoch-protected region.
+func Pin() guard {
+	pins.Add(1)
+	return guard{}
+}
+
+// Unpin closes it.
+func Unpin(g guard) {
+	pins.Add(-1)
+}
+
+// observe leaves the epoch pinned on the early return: reclamation
+// wedges for every structure sharing the epoch.
+func observe() int {
+	g := Pin()
+	q := SafeRead(&cur)
+	if q == nil {
+		return 0
+	}
+	v := q.n
+	Release(q)
+	Unpin(g)
+	return v
+}
+
+// glance discards the guard outright: it can never be unpinned.
+func glance() {
+	Pin()
+}
 `)
 
 	out, stderr, exit := runIn(dir, "-json", "./...")
@@ -457,6 +492,8 @@ func snapshot() int {
 		"boundedretry/unbounded",
 		"hbpublish/unsafe-publish",
 		"releasepath/exit-leak",
+		"releasepath/missing-unpin",
+		"saferead/missing-unpin",
 	} {
 		if !found[want] {
 			t.Errorf("planted violation for %s not detected; diagnostics: %+v", want, diags)

@@ -33,7 +33,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("lfstress", flag.ContinueOnError)
 	var (
 		structure = fs.String("s", "list", "structure: list, hash, skiplist, bst")
-		modeName  = fs.String("m", "rc", "memory mode: gc or rc")
+		modeName  = fs.String("m", "rc", "memory mode: gc, rc, or ebr")
 		procs     = fs.Int("p", 8, "goroutines")
 		dur       = fs.Duration("d", 5*time.Second, "stress duration")
 		keys      = fs.Int("k", 256, "key space")
@@ -42,13 +42,8 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	var mode mm.Mode
-	switch *modeName {
-	case "gc":
-		mode = mm.ModeGC
-	case "rc":
-		mode = mm.ModeRC
-	default:
+	mode, ok := mm.ParseMode(*modeName)
+	if !ok {
 		return fmt.Errorf("unknown mode %q", *modeName)
 	}
 
@@ -133,7 +128,8 @@ func checkList(s *dict.SortedList[int, int], mode mm.Mode, cfg workload.Config, 
 	if err := checkPopulation(s, cfg, res); err != nil {
 		return err
 	}
-	if mode == mm.ModeRC {
+	switch mode {
+	case mm.ModeRC:
 		rc := s.List().Manager().(*mm.RC[dict.Entry[int, int]])
 		n := int64(len(items))
 		if live, want := rc.Stats().Live(), 3+2*n; live != want {
@@ -144,6 +140,17 @@ func checkList(s *dict.SortedList[int, int], mode mm.Mode, cfg workload.Config, 
 			return fmt.Errorf("%d cells leaked after Close", live)
 		}
 		fmt.Println("rc reclamation exact: 0 cells leaked")
+	case mm.ModeEBR:
+		// Reclamation is deferred: drain the limbo lists before counting.
+		ebr := s.List().Manager().(*mm.EBR[dict.Entry[int, int]])
+		s.Close()
+		if !ebr.Quiesce() {
+			return fmt.Errorf("ebr limbo did not drain: %d cells in limbo", ebr.LimboLen())
+		}
+		if live := ebr.Stats().Live(); live != 0 {
+			return fmt.Errorf("%d cells leaked after Close+Quiesce", live)
+		}
+		fmt.Println("ebr reclamation complete: 0 cells leaked")
 	}
 	return nil
 }

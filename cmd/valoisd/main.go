@@ -60,7 +60,7 @@ func run(args []string, logw io.Writer, onReady func(net.Addr)) int {
 	var (
 		addr       = fs.String("addr", ":11311", "listen address")
 		backend    = fs.String("backend", server.BackendSkipList, "dictionary structure: "+strings.Join(server.Backends(), ", "))
-		mode       = fs.String("mode", "gc", "memory mode: gc or rc (§5 reference counts)")
+		mode       = fs.String("mode", "gc", "memory mode: gc, rc (§5 reference counts), or ebr (epoch-based reclamation)")
 		shards     = fs.Int("shards", 16, "independent dictionary instances keys are hashed across")
 		buckets    = fs.Int("buckets", 1024, "buckets per shard (hash backend only)")
 		gomaxprocs = fs.Int("gomaxprocs", 0, "if > 0, set GOMAXPROCS")

@@ -39,7 +39,7 @@ const (
 )
 
 func main() {
-	for _, mode := range []string{"gc", "rc"} {
+	for _, mode := range []string{"gc", "rc", "ebr"} {
 		if err := run(mode); err != nil {
 			log.Fatalf("kvstore [%s]: %v", mode, err)
 		}

@@ -297,3 +297,30 @@ func pairLeak(m *mgr) {
 	m.Release(q)
 	m.Release(n)
 }
+
+// guard marks an epoch-protected region (the mode=ebr shape). Pins carry
+// no reference count, so the interprocedural accounting must pass
+// straight through them: a balanced counted traversal inside a pinned
+// window is clean, and the guard itself never becomes an obligation.
+type guard struct{ slot *int }
+
+// Pin opens an epoch-protected region and returns its guard.
+func (m *mgr) Pin() guard { return guard{} }
+
+// Unpin closes the region.
+func (m *mgr) Unpin(g guard) { _ = g }
+
+// pinnedTraversal holds a counted reference across the neutral helper
+// inside a pinned window and releases it before unpinning: no findings.
+func pinnedTraversal(m *mgr) int {
+	g := m.Pin()
+	q := m.SafeRead(&m.head)
+	if q == nil {
+		m.Unpin(g)
+		return 0
+	}
+	v := readItem(q)
+	m.Release(q)
+	m.Unpin(g)
+	return v
+}

@@ -17,7 +17,12 @@
 // The analyzer tracks local variables assigned from calls named SafeRead,
 // safeRead, Alloc, or alloc that return a pointer — the acquisition
 // intrinsics of the protocol — and interprets the function's control-flow
-// graph path by path. An obligation is discharged by anything that
+// graph path by path. It applies the same discipline to epoch guards:
+// a call named Pin or pin returning a single value opens an epoch-
+// protected region, and a guard that is never handed to Unpin on some
+// exit path leaves that epoch pinned forever — reclamation wedges, limbo
+// grows without bound, and unlike a single lost cell the damage is
+// global. Those findings carry the missing-unpin category. An obligation is discharged by anything that
 // releases or plausibly transfers it: passing the variable to any call
 // (Release, ReleaseNodes, or a helper that may assume ownership),
 // returning it, storing it into a structure, capturing it in a closure,
@@ -87,10 +92,11 @@ type analysis struct {
 	results map[*types.Var]bool
 }
 
-// obligation records one outstanding acquired reference.
+// obligation records one outstanding acquired reference or epoch guard.
 type obligation struct {
 	pos    token.Pos // the acquiring call
 	source string    // its callee name, for the message
+	pin    bool      // a Pin guard (missing-unpin) rather than a counted reference
 }
 
 // state maps each live tracked variable to its obligation.
@@ -138,6 +144,27 @@ func (a *analysis) exitCheck(e *cfg.Edge, st state) {
 			continue
 		}
 		a.reported[key] = true
+		if ob.pin {
+			// A lost guard is worse than a lost cell: the pinned epoch
+			// never retires, so reclamation stalls globally.
+			switch e.Kind {
+			case cfg.Panic:
+				a.pass.Categorizef("missing-unpin", ob.pos,
+					"guard in %s (from %s) is lost when this path panics: unpin it in a defer, or the pinned epoch wedges reclamation for the whole structure", v.Name(), ob.source)
+			case cfg.Return:
+				if e.Ret != nil {
+					a.pass.Categorizef("missing-unpin", ob.pos,
+						"guard in %s (from %s) is not unpinned on the exit path through the return at line %d: the pinned epoch wedges reclamation", v.Name(), ob.source, a.pass.Fset.Position(e.Ret.Pos()).Line)
+					continue
+				}
+				a.pass.Categorizef("missing-unpin", ob.pos,
+					"guard in %s (from %s) is not unpinned on every exit path: the pinned epoch wedges reclamation", v.Name(), ob.source)
+			default:
+				a.pass.Categorizef("missing-unpin", ob.pos,
+					"guard in %s (from %s) is not unpinned when the function falls off its end: the pinned epoch wedges reclamation", v.Name(), ob.source)
+			}
+			continue
+		}
 		switch e.Kind {
 		case cfg.Panic:
 			a.pass.Categorizef("exit-leak", ob.pos,
@@ -260,10 +287,10 @@ func (a *analysis) interpValueSpec(vs *ast.ValueSpec, st state) {
 }
 
 func (a *analysis) assignOne(lhs, rhs ast.Expr, st state) {
-	if call, ok := unparen(rhs).(*ast.CallExpr); ok && a.isAcquireCall(call) {
+	if call, ok := unparen(rhs).(*ast.CallExpr); ok && (a.isAcquireCall(call) || a.isPinCall(call)) {
 		a.evalExpr(call, st, false)
 		if lv := a.localVar(lhs); lv != nil {
-			st[lv] = obligation{pos: call.Pos(), source: calleeName(call)}
+			st[lv] = obligation{pos: call.Pos(), source: calleeName(call), pin: a.isPinCall(call)}
 			return
 		}
 		// Stored straight into a field or element: ownership transferred.
@@ -417,6 +444,26 @@ func (a *analysis) isAcquireCall(call *ast.CallExpr) bool {
 	}
 	_, isPtr := tv.Type.Underlying().(*types.Pointer)
 	return isPtr
+}
+
+// isPinCall recognizes the epoch-guard acquisition shape: a call named
+// Pin or pin returning a single value (the guard). Any single return
+// type qualifies — guards are deliberately opaque (mm.Guard is a struct,
+// other implementations hand out ints or pointers) — but a multi-value
+// pin helper is left alone: its extra results make the idiomatic
+// `g, ok := pin()` shape too varied to interpret soundly.
+func (a *analysis) isPinCall(call *ast.CallExpr) bool {
+	switch calleeName(call) {
+	case "Pin", "pin":
+	default:
+		return false
+	}
+	tv, ok := a.pass.TypesInfo.Types[call]
+	if !ok {
+		return false
+	}
+	_, isTuple := tv.Type.(*types.Tuple)
+	return !isTuple
 }
 
 // calleeName returns the simple name of the called function or method.

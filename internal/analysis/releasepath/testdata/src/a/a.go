@@ -188,3 +188,57 @@ func nilGuardedPanic(m *mgr) int {
 	m.Release(q)
 	return v
 }
+
+// guard marks an epoch-protected region (the mode=ebr shape): it carries
+// no count, but losing it leaves its epoch pinned forever.
+type guard struct{ slot *int }
+
+// Pin opens an epoch-protected region and returns its guard.
+func (m *mgr) Pin() guard { return guard{} }
+
+// Unpin closes the region.
+func (m *mgr) Unpin(g guard) { _ = g }
+
+// missingUnpinEarlyReturn leaves the epoch pinned on the error return:
+// the same review-resistant shape as earlyReturnLeak, with global rather
+// than per-cell consequences.
+func missingUnpinEarlyReturn(m *mgr, v int) error {
+	g := m.Pin() // want `guard in g \(from Pin\) is not unpinned on the exit path through the return at line \d+`
+	if err := check(v); err != nil {
+		return err
+	}
+	m.Unpin(g)
+	return nil
+}
+
+// missingUnpinPanic loses the guard during unwinding: no deferred unpin
+// runs, so the epoch stays pinned after the recover upstream.
+func missingUnpinPanic(m *mgr, v int) {
+	g := m.Pin() // want `guard in g \(from Pin\) is lost when this path panics`
+	if v < 0 {
+		panic("negative item")
+	}
+	m.Unpin(g)
+}
+
+// deferredUnpin is the prescribed shape: one defer covers every later
+// exit, panic included.
+func deferredUnpin(m *mgr, v int) error {
+	g := m.Pin()
+	defer m.Unpin(g)
+	if err := check(v); err != nil {
+		return err
+	}
+	return nil
+}
+
+// unpinEveryPath balances each exit explicitly.
+func unpinEveryPath(m *mgr, v int) error {
+	g := m.Pin()
+	if err := check(v); err != nil {
+		m.Unpin(g)
+		return err
+	}
+	m.Unpin(g)
+	return nil
+}

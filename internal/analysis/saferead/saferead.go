@@ -29,6 +29,14 @@
 // function) with an unresolved reference, when a SafeRead result is
 // discarded outright, and when a live reference is overwritten.
 //
+// The analyzer also polices the epoch-guard acquisition shape that
+// arrives with mode=ebr: a call named Pin or pin returns a guard that
+// must eventually reach Unpin. A discarded guard — `m.Pin()` as a bare
+// statement, or `_ = m.Pin()` — can never be unpinned, so the pinned
+// epoch wedges reclamation for the whole structure; those findings carry
+// the missing-unpin category. Guards that are bound to a variable are
+// tracked across exit paths by the releasepath analyzer.
+//
 // Loops are explored under the interpreter's per-block visit budget, and
 // short-circuit condition evaluation is approximated by evaluating the
 // whole condition on every path, so the analysis errs toward leniency: it
@@ -142,6 +150,16 @@ func (a *analysis) report(pos token.Pos, format string, args ...any) {
 	a.pass.Categorizef("leak", pos, format, args...)
 }
 
+// reportGuard emits a discarded-guard diagnostic; losing a guard wedges
+// the epoch, a different failure class than a lost counted reference.
+func (a *analysis) reportGuard(pos token.Pos, format string, args ...any) {
+	if a.reported[pos] {
+		return
+	}
+	a.reported[pos] = true
+	a.pass.Categorizef("missing-unpin", pos, format, args...)
+}
+
 func (a *analysis) leakCheck(st state) {
 	for v, pos := range st {
 		a.report(pos, "SafeRead result in %s is not Released on every path through this function", v.Name())
@@ -155,8 +173,13 @@ func (a *analysis) leakCheck(st state) {
 func (a *analysis) applyNode(n ast.Node, st state) {
 	switch n := n.(type) {
 	case *ast.ExprStmt:
-		if call, ok := unparen(n.X).(*ast.CallExpr); ok && a.isSafeReadCall(call) {
-			a.report(call.Pos(), "result of %s is discarded, leaking the acquired reference", calleeName(a.pass, call))
+		if call, ok := unparen(n.X).(*ast.CallExpr); ok {
+			if a.isSafeReadCall(call) {
+				a.report(call.Pos(), "result of %s is discarded, leaking the acquired reference", calleeName(a.pass, call))
+			}
+			if a.isPinCall(call) {
+				a.reportGuard(call.Pos(), "guard returned by %s is discarded: it can never be unpinned, so the pinned epoch wedges reclamation", calleeName(a.pass, call))
+			}
 		}
 		a.evalExpr(n.X, st, false)
 
@@ -257,6 +280,13 @@ func (a *analysis) interpValueSpec(vs *ast.ValueSpec, st state) {
 }
 
 func (a *analysis) assignOne(lhs, rhs ast.Expr, st state) {
+	// Assigning a guard to the blank identifier discards it as surely as
+	// a bare statement does.
+	if call, ok := unparen(rhs).(*ast.CallExpr); ok && a.isPinCall(call) {
+		if id, ok := unparen(lhs).(*ast.Ident); ok && id.Name == "_" {
+			a.reportGuard(call.Pos(), "guard returned by %s is discarded: it can never be unpinned, so the pinned epoch wedges reclamation", calleeName(a.pass, call))
+		}
+	}
 	// A SafeRead call assigned to a local variable starts an obligation.
 	if call, ok := unparen(rhs).(*ast.CallExpr); ok && a.isSafeReadCall(call) {
 		a.evalExpr(call, st, false)
@@ -434,6 +464,23 @@ func (a *analysis) isSafeReadCall(call *ast.CallExpr) bool {
 	}
 	_, isPtr := tv.Type.Underlying().(*types.Pointer)
 	return isPtr
+}
+
+// isPinCall recognizes the epoch-guard acquisition shape: a call named
+// Pin or pin returning a single value of any type (guards are opaque —
+// mm.Guard is a struct; other implementations hand out ints or
+// pointers). Multi-value pin helpers are left alone.
+func (a *analysis) isPinCall(call *ast.CallExpr) bool {
+	name := calleeName(a.pass, call)
+	if name != "Pin" && name != "pin" {
+		return false
+	}
+	tv, ok := a.pass.TypesInfo.Types[call]
+	if !ok {
+		return false
+	}
+	_, isTuple := tv.Type.(*types.Tuple)
+	return !isTuple
 }
 
 // calleeName returns the simple name of the called function or method.

@@ -138,3 +138,37 @@ func capturedByClosure(m *mgr) func() {
 	q := m.SafeRead(&m.head)
 	return func() { m.Release(q) }
 }
+
+// guard marks an epoch-protected region (the mode=ebr shape).
+type guard struct{ slot *int }
+
+// Pin opens an epoch-protected region and returns its guard.
+func (m *mgr) Pin() guard { return guard{} }
+
+// Unpin closes the region.
+func (m *mgr) Unpin(g guard) { _ = g }
+
+// discardedGuard drops the guard on the floor: with no handle, the pin
+// can never be released and reclamation wedges at this epoch.
+func discardedGuard(m *mgr) {
+	m.Pin() // want `guard returned by Pin is discarded`
+}
+
+// blankGuard discards through the blank identifier — same wedge.
+func blankGuard(m *mgr) {
+	_ = m.Pin() // want `guard returned by Pin is discarded`
+}
+
+// pinnedRegion is the clean shape: guard bound, deferred unpin, counted
+// traversal balanced inside the pinned window.
+func pinnedRegion(m *mgr) int {
+	g := m.Pin()
+	defer m.Unpin(g)
+	q := m.SafeRead(&m.head)
+	if q == nil {
+		return 0
+	}
+	v := q.item
+	m.Release(q)
+	return v
+}

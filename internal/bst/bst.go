@@ -21,10 +21,57 @@ type item[K cmp.Ordered, V any] struct {
 // Tree is a non-blocking binary search tree dictionary (§4.2).
 type Tree[K cmp.Ordered, V any] struct {
 	manager mm.Manager[item[K, V]]
+	ebr     bool                 // manager pins epochs: traversal references are no-ops
+	pinner  mm.Pinner            // non-nil exactly when ebr is true
 	root    *mm.Node[item[K, V]] // anchor auxiliary node; root.next is the tree
 	empty   *mm.Node[item[K, V]] // shared sentinel for an empty subtree
 	stats   Stats
 	yield   func() // see SetYieldHook
+}
+
+// The tree's reference operations split into the same two families as the
+// list's (see internal/core): traversal holds — the per-hop SafeReads and
+// the held-cell copies a descent keeps — go through safeRead/hold/drop
+// and vanish under the EBR manager, whose per-operation pin protects
+// every reachable cell instead; references materialized as stored
+// pointers (edges, descriptor links, the Item's two auxiliary nodes) stay
+// direct manager.AddRef/Release calls and remain counted under both RC
+// and EBR, so dropping a cell's last edge is what retires it.
+
+func (t *Tree[K, V]) safeRead(p *atomic.Pointer[mm.Node[item[K, V]]]) *mm.Node[item[K, V]] {
+	if t.ebr {
+		return p.Load()
+	}
+	return t.manager.SafeRead(p)
+}
+
+// hold duplicates a traversal reference to a cell the caller can reach.
+func (t *Tree[K, V]) hold(n *mm.Node[item[K, V]]) {
+	if !t.ebr {
+		t.manager.AddRef(n)
+	}
+}
+
+// drop releases a traversal reference acquired by safeRead or hold.
+func (t *Tree[K, V]) drop(n *mm.Node[item[K, V]]) {
+	if !t.ebr {
+		t.manager.Release(n)
+	}
+}
+
+// pin opens an epoch-protected region for one tree operation under the
+// EBR manager; a no-op guard otherwise.
+func (t *Tree[K, V]) pin() (mm.Guard, bool) {
+	if t.pinner == nil {
+		return mm.Guard{}, false
+	}
+	return t.pinner.Pin(), true
+}
+
+func (t *Tree[K, V]) unpin(g mm.Guard, pinned bool) {
+	if pinned {
+		t.pinner.Unpin(g)
+	}
 }
 
 var _ dict.Dictionary[int, int] = (*Tree[int, int])(nil)
@@ -58,21 +105,28 @@ func (w TreeWorkStats) ExtraWork() int64 {
 }
 
 // New returns an empty tree under the given memory mode. RC options
-// (free-list striping, cell padding, backoff — see mm.NewRC) apply under
-// mm.ModeRC and are ignored under mm.ModeGC.
+// (free-list striping, cell padding, backoff — see mm.NewRC) configure
+// the free list under mm.ModeRC and mm.ModeEBR and are ignored under
+// mm.ModeGC.
 func New[K cmp.Ordered, V any](mode mm.Mode, opts ...mm.RCOption) *Tree[K, V] {
+	extractor := func(it item[K, V]) (*mm.Node[item[K, V]], *mm.Node[item[K, V]]) {
+		return it.Left, it.Right
+	}
 	var manager mm.Manager[item[K, V]]
 	switch mode {
 	case mm.ModeRC:
 		rc := mm.NewRC[item[K, V]](opts...)
-		rc.SetReclaimExtractor(func(it item[K, V]) (*mm.Node[item[K, V]], *mm.Node[item[K, V]]) {
-			return it.Left, it.Right
-		})
+		rc.SetReclaimExtractor(extractor)
 		manager = rc
+	case mm.ModeEBR:
+		ebr := mm.NewEBR[item[K, V]](opts...)
+		ebr.SetReclaimExtractor(extractor)
+		manager = ebr
 	default:
 		manager = mm.NewGC[item[K, V]]()
 	}
 	t := &Tree[K, V]{manager: manager}
+	t.pinner, t.ebr = manager.(mm.Pinner)
 	t.empty = manager.Alloc()
 	t.empty.SetKind(mm.KindLast) // "normal" terminal: traversals stop here
 	t.root = manager.Alloc()
@@ -134,18 +188,17 @@ func (t *Tree[K, V]) casEdge(a, old, new *mm.Node[item[K, V]]) bool {
 // followEdge walks from the held auxiliary node a across any chain of
 // auxiliary nodes to the first terminal (a cell or the empty sentinel).
 // It returns the terminal and the last auxiliary node of the chain — the
-// one whose next was observed to be the terminal — both with a counted
+// one whose next was observed to be the terminal — both with a traversal
 // reference for the caller. a itself is not released.
 func (t *Tree[K, V]) followEdge(a *mm.Node[item[K, V]]) (term, lastAux *mm.Node[item[K, V]]) {
 	t.maybeYield()
-	m := t.manager
 	last := a
-	m.AddRef(last)
-	cur := m.SafeRead(last.NextAddr())
+	t.hold(last)
+	cur := t.safeRead(last.NextAddr())
 	for cur.IsAux() {
-		m.Release(last)
+		t.drop(last)
 		last = cur
-		cur = m.SafeRead(last.NextAddr())
+		cur = t.safeRead(last.NextAddr())
 	}
 	return cur, last
 }
@@ -161,40 +214,39 @@ func (t *Tree[K, V]) followEdge(a *mm.Node[item[K, V]]) (term, lastAux *mm.Node[
 // signature of a short-circuited edge (§4.2) — it helps the deletion in
 // progress and restarts from the root.
 func (t *Tree[K, V]) locate(k K) (cell, aux *mm.Node[item[K, V]]) {
-	m := t.manager
 	for {
 		var prev *mm.Node[item[K, V]] // held cell we last descended from
 		a := t.root
-		m.AddRef(a)
+		t.hold(a)
 		for {
 			n, la := t.followEdge(a)
-			m.Release(a)
+			t.drop(a)
 			if n == prev {
 				// Short-circuit: the edge led back to the cell we came
 				// from, so prev is being deleted. Help, then restart.
-				m.Release(la)
-				m.Release(n)
+				t.drop(la)
+				t.drop(n)
 				t.help(prev)
-				m.Release(prev)
+				t.drop(prev)
 				t.stats.restarts.Add(1)
 				break
 			}
-			m.Release(prev)
+			t.drop(prev)
 			prev = nil
 			if n == t.empty {
-				m.Release(n)
+				t.drop(n)
 				return nil, la
 			}
 			if n.Item.Key == k {
 				return n, la
 			}
-			m.Release(la)
+			t.drop(la)
 			side := n.Item.Left
 			if k > n.Item.Key {
 				side = n.Item.Right
 			}
-			m.AddRef(side) // alive while n is held
-			prev = n       // keep n held for the revisit check
+			t.hold(side) // alive while n is held
+			prev = n     // keep n held for the revisit check
 			a = side
 		}
 	}
@@ -202,14 +254,16 @@ func (t *Tree[K, V]) locate(k K) (cell, aux *mm.Node[item[K, V]]) {
 
 // Find reports the value stored under key.
 func (t *Tree[K, V]) Find(key K) (V, bool) {
+	g, pinned := t.pin()
+	defer t.unpin(g, pinned)
 	n, a := t.locate(key)
-	t.manager.Release(a)
+	t.drop(a)
 	if n == nil {
 		var zero V
 		return zero, false
 	}
 	v := n.Item.Value
-	t.manager.Release(n)
+	t.drop(n)
 	return v, true
 }
 
@@ -241,20 +295,22 @@ func (t *Tree[K, V]) Insert(key K, value V) bool {
 	// held by the cell's Item (released by the reclaim extractor).
 	cell.Item = item[K, V]{Key: key, Value: value, Left: left, Right: right}
 
+	g, pinned := t.pin()
+	defer t.unpin(g, pinned)
 	for {
 		n, a := t.locate(key)
 		if n != nil {
-			m.Release(n)
-			m.Release(a)
+			t.drop(n)
+			t.drop(a)
 			m.Release(cell) // reclaims the cell, its auxiliaries, and their edges
 			return false
 		}
 		if t.casEdge(a, t.empty, cell) {
-			m.Release(a)
+			t.drop(a)
 			m.Release(cell) // the edge keeps the cell alive now
 			return true
 		}
-		m.Release(a)
+		t.drop(a)
 		t.stats.insertRetries.Add(1)
 	}
 }
@@ -264,35 +320,37 @@ func (t *Tree[K, V]) Insert(key K, value V) bool {
 // helps it finish and reports false.
 func (t *Tree[K, V]) Delete(key K) bool {
 	m := t.manager
+	g, pinned := t.pin()
+	defer t.unpin(g, pinned)
 	for {
 		n, a := t.locate(key)
 		if n == nil {
-			m.Release(a)
+			t.drop(a)
 			return false
 		}
 		// Claim the cell with a descriptor recording the parent edge
 		// (the auxiliary node a, whose next we observed to be n).
 		d := m.Alloc()
 		if d == nil {
-			m.Release(n)
-			m.Release(a)
+			t.drop(n)
+			t.drop(a)
 			return false
 		}
 		d.SetKind(mm.KindAux)
 		d.StoreNext(a)
-		m.AddRef(a) // refs: descriptor→parent aux
+		m.AddRef(a) // refs: descriptor→parent aux (a stored, counted link)
 		t.maybeYield()
 		if n.CASBackLink(nil, d) {
 			// The allocation reference of d becomes the back_link's.
 			t.run(n, a, true)
-			m.Release(n)
-			m.Release(a)
+			t.drop(n)
+			t.drop(a)
 			return true
 		}
 		m.Release(d) // reclaims d and its reference to a
 		t.help(n)    // the cell is claimed by someone else: help them
-		m.Release(n)
-		m.Release(a)
+		t.drop(n)
+		t.drop(a)
 		return false
 	}
 }
@@ -308,9 +366,9 @@ func (t *Tree[K, V]) help(n *mm.Node[item[K, V]]) {
 	// The descriptor and its parent-edge reference stay alive as long as
 	// n is held (they are released only when n is reclaimed).
 	p := d.Next()
-	t.manager.AddRef(p)
+	t.hold(p)
 	t.run(n, p, false)
-	t.manager.Release(p)
+	t.drop(p)
 	t.stats.helps.Add(1)
 }
 
@@ -321,14 +379,13 @@ func (t *Tree[K, V]) help(n *mm.Node[item[K, V]]) {
 // the package comment); a helper that cannot verify the move returns,
 // leaving completion to the claimer.
 func (t *Tree[K, V]) run(x, p *mm.Node[item[K, V]], claimer bool) {
-	m := t.manager
 	left, right := x.Item.Left, x.Item.Right
 	for {
 		if p.Next() != x {
 			return // spliced: the deletion is complete
 		}
-		l := m.SafeRead(left.NextAddr())
-		r := m.SafeRead(right.NextAddr())
+		l := t.safeRead(left.NextAddr())
+		r := t.safeRead(right.NextAddr())
 		lState := t.classify(l, p)
 		rState := t.classify(r, p)
 		switch {
@@ -343,8 +400,8 @@ func (t *Tree[K, V]) run(x, p *mm.Node[item[K, V]], claimer bool) {
 			if t.ensureMoved(left, right, claimer) {
 				t.casEdge(p, x, right)
 			} else if !claimer {
-				m.Release(l)
-				m.Release(r)
+				t.drop(l)
+				t.drop(r)
 				return // cannot verify the move; leave it to the claimer
 			}
 		case lState == sideChild: // right side empty or already circuited
@@ -371,8 +428,8 @@ func (t *Tree[K, V]) run(x, p *mm.Node[item[K, V]], claimer bool) {
 				t.casEdge(p, x, t.empty)
 			}
 		}
-		m.Release(l)
-		m.Release(r)
+		t.drop(l)
+		t.drop(r)
 	}
 }
 
@@ -406,31 +463,30 @@ func (t *Tree[K, V]) classify(v, p *mm.Node[item[K, V]]) sideState {
 // already installed (by identity, anywhere along a chain). It reports
 // whether the move is known to have happened.
 func (t *Tree[K, V]) ensureMoved(needle, rightAux *mm.Node[item[K, V]], claimer bool) bool {
-	m := t.manager
 	t.stats.moveScans.Add(1)
 	for {
 		// Descend the leftmost path starting at x's right edge.
 		a := rightAux
-		m.AddRef(a)
+		t.hold(a)
 		var prev *mm.Node[item[K, V]] // held cell we descended from
 		for {
 			term, la, hit := t.followEdgeNeedle(a, needle)
-			m.Release(a)
+			t.drop(a)
 			if hit {
-				m.Release(term)
-				m.Release(la)
-				m.Release(prev)
+				t.drop(term)
+				t.drop(la)
+				t.drop(prev)
 				return true
 			}
 			if term == prev {
 				// A deletion on the successor path; help it and rescan.
-				m.Release(term)
-				m.Release(la)
+				t.drop(term)
+				t.drop(la)
 				t.help(prev)
-				m.Release(prev)
+				t.drop(prev)
 				break
 			}
-			m.Release(prev)
+			t.drop(prev)
 			prev = nil
 			if term == t.empty {
 				// la is the successor's empty left edge (or x's own
@@ -440,22 +496,22 @@ func (t *Tree[K, V]) ensureMoved(needle, rightAux *mm.Node[item[K, V]], claimer 
 				// sides were observed as children; a racing deletion may
 				// still empty the subtree, in which case installing at
 				// la keeps the left subtree reachable and ordered).
-				m.Release(term)
+				t.drop(term)
 				if !claimer {
-					m.Release(la)
+					t.drop(la)
 					return false
 				}
 				if t.casEdge(la, t.empty, needle) {
-					m.Release(la)
+					t.drop(la)
 					return true
 				}
-				m.Release(la)
+				t.drop(la)
 				break // slot changed; rescan
 			}
 			// term is a cell: continue down its left edge.
 			side := term.Item.Left
-			m.AddRef(side)
-			m.Release(la)
+			t.hold(side)
+			t.drop(la)
 			prev = term
 			a = side
 		}
@@ -466,20 +522,19 @@ func (t *Tree[K, V]) ensureMoved(needle, rightAux *mm.Node[item[K, V]], claimer 
 // whether the needle auxiliary node was encountered anywhere along the
 // chain (including as the first hop).
 func (t *Tree[K, V]) followEdgeNeedle(a, needle *mm.Node[item[K, V]]) (term, lastAux *mm.Node[item[K, V]], hit bool) {
-	m := t.manager
 	last := a
-	m.AddRef(last)
+	t.hold(last)
 	if last == needle {
 		hit = true
 	}
-	cur := m.SafeRead(last.NextAddr())
+	cur := t.safeRead(last.NextAddr())
 	for cur.IsAux() {
 		if cur == needle {
 			hit = true
 		}
-		m.Release(last)
+		t.drop(last)
 		last = cur
-		cur = m.SafeRead(last.NextAddr())
+		cur = t.safeRead(last.NextAddr())
 	}
 	return cur, last, hit
 }
@@ -506,7 +561,8 @@ func (t *Tree[K, V]) RangeFrom(start K, f func(key K, value V) bool) {
 }
 
 func (t *Tree[K, V]) rangeFrom(start *K, f func(key K, value V) bool) {
-	m := t.manager
+	g, pinned := t.pin()
+	defer t.unpin(g, pinned)
 	// A concurrent two-children deletion (Figure 14) moves a whole
 	// subtree under the in-order successor; a walk that saw the subtree
 	// in its old place can meet it again in the new one. Filter the
@@ -531,12 +587,12 @@ func (t *Tree[K, V]) rangeFrom(start *K, f func(key K, value V) bool) {
 	}
 	// Seed with the root edge's terminal.
 	push := func(stack []frame, a *mm.Node[item[K, V]], from *mm.Node[item[K, V]]) []frame {
-		m.AddRef(a)
+		t.hold(a)
 		term, la := t.followEdge(a)
-		m.Release(a)
-		m.Release(la)
+		t.drop(a)
+		t.drop(la)
 		if term == t.empty || term == from {
-			m.Release(term)
+			t.drop(term)
 			return stack
 		}
 		return append(stack, frame{n: term})
@@ -551,7 +607,7 @@ func (t *Tree[K, V]) rangeFrom(start *K, f func(key K, value V) bool) {
 				n := top.n
 				stack = stack[:len(stack)-1]
 				stack = push(stack, n.Item.Right, n)
-				m.Release(n)
+				t.drop(n)
 				continue
 			}
 			top.visited = true
@@ -562,13 +618,13 @@ func (t *Tree[K, V]) rangeFrom(start *K, f func(key K, value V) bool) {
 		stack = stack[:len(stack)-1]
 		deleted := n.Deleted()
 		if !deleted && !emit(n.Item.Key, n.Item.Value) {
-			m.Release(n)
+			t.drop(n)
 			for _, fr := range stack {
-				m.Release(fr.n)
+				t.drop(fr.n)
 			}
 			return
 		}
 		stack = push(stack, n.Item.Right, n)
-		m.Release(n)
+		t.drop(n)
 	}
 }

@@ -71,6 +71,40 @@ func (t *Tree[K, V]) checkEdge(a *mm.Node[item[K, V]], lo, hi *K, seen map[*mm.N
 	return t.checkEdge(n.Item.Right, &k, hi, seen, depth+1)
 }
 
+// NodeCount returns the number of distinct managed nodes — cells,
+// auxiliary nodes, and the empty sentinel — reachable from the root of
+// a quiescent tree. Deletions deliberately leave the deleted cell's
+// auxiliary nodes behind as connective chains (§4.2 has no analogue of
+// the list's adjacent-auxiliary collapse), so live-cell accounting
+// cannot use a per-key formula: the reachable count is the exact
+// complement of the manager's live statistic, and any managed node that
+// is neither reachable nor awaiting reclamation is a leak.
+func (t *Tree[K, V]) NodeCount() int {
+	seen := make(map[*mm.Node[item[K, V]]]bool)
+	t.countEdge(t.root, seen)
+	return len(seen)
+}
+
+func (t *Tree[K, V]) countEdge(a *mm.Node[item[K, V]], seen map[*mm.Node[item[K, V]]]bool) {
+	cur := a
+	for cur != nil && cur.IsAux() {
+		if seen[cur] {
+			return
+		}
+		seen[cur] = true
+		cur = cur.Next()
+	}
+	if cur == nil || seen[cur] {
+		return
+	}
+	seen[cur] = true
+	if cur == t.empty || cur.Kind() != mm.KindCell {
+		return
+	}
+	t.countEdge(cur.Item.Left, seen)
+	t.countEdge(cur.Item.Right, seen)
+}
+
 // Keys returns the keys currently in the tree in ascending order, via
 // Range.
 func (t *Tree[K, V]) Keys() []K {

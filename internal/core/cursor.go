@@ -14,13 +14,17 @@ import (
 //
 // A cursor is owned by a single goroutine; distinct goroutines use distinct
 // cursors over the same shared list. Under mm.RC the cursor holds counted
-// references to the cells its three pointers visit; call Close when done
-// with the cursor.
+// references to the cells its three pointers visit; under mm.EBR it holds
+// an epoch pin for its whole lifetime instead, which is what keeps the
+// cells behind its plain-loaded pointers from being recycled. Either way,
+// call Close when done with the cursor.
 type Cursor[T any] struct {
 	list    *List[T]
 	target  *mm.Node[T]
 	preAux  *mm.Node[T]
 	preCell *mm.Node[T]
+	guard   mm.Guard // the epoch pin under mm.EBR
+	pinned  bool
 }
 
 // List returns the list this cursor traverses.
@@ -42,14 +46,16 @@ func (c *Cursor[T]) Reset() {
 	c.update()                                // Fig 6 line 4
 }
 
-// Close releases the cursor's references. The cursor must not be used
-// afterwards.
+// Close releases the cursor's references and its epoch pin. The cursor
+// must not be used afterwards.
 func (c *Cursor[T]) Close() {
 	l := c.list
 	l.release(c.preCell)
 	l.release(c.preAux)
 	l.release(c.target)
 	c.preCell, c.preAux, c.target = nil, nil, nil
+	l.unpin(c.guard, c.pinned)
+	c.pinned = false
 }
 
 // End reports whether the cursor is visiting the distinguished end-of-list
@@ -108,8 +114,8 @@ func (c *Cursor[T]) update() {
 		// that is no longer reachable from the list.
 		l.maybeYield()
 		if !l.noAuxRemoval && c.preCell.CASNext(p, n) {
-			l.addRef(n)  // refs: new link pre_cell→n
-			l.release(p) // refs: dropped link pre_cell→p
+			l.linkRef(n) // refs: new link pre_cell→n
+			l.unlink(p)  // refs: dropped link pre_cell→p
 			l.stats.addAuxRemovals(1)
 		}
 		l.release(p)                 // Fig 5 line 8: our traversal reference
@@ -154,17 +160,17 @@ func (c *Cursor[T]) TryInsert(q, a *mm.Node[T]) bool {
 	l := c.list
 	if q.Next() != a { // Fig 9 line 1 (idempotent across retries)
 		q.StoreNext(a)
-		l.addRef(a) // refs: link q→a
+		l.linkRef(a) // refs: link q→a
 	}
 	if old := a.Next(); old != c.target { // Fig 9 line 2 (retarget on retry)
-		l.addRef(c.target) // refs: link a→target
+		l.linkRef(c.target) // refs: link a→target
 		a.StoreNext(c.target)
-		l.release(old) // refs: dropped link a→old target (no-op first time)
+		l.unlink(old) // refs: dropped link a→old target (no-op first time)
 	}
 	l.maybeYield()
 	if c.preAux.CASNext(c.target, q) { // Fig 9 line 3
-		l.addRef(q)         // refs: new link pre_aux→q
-		l.release(c.target) // refs: dropped link pre_aux→target
+		l.linkRef(q)       // refs: new link pre_aux→q
+		l.unlink(c.target) // refs: dropped link pre_aux→target
 		return true
 	}
 	return false
@@ -180,9 +186,9 @@ func (c *Cursor[T]) TryInsert(q, a *mm.Node[T]) bool {
 // (lines 7–11), collapsing any chain of auxiliary nodes (lines 12–16), and
 // swinging that cell's next past the chain (lines 17–21).
 func (c *Cursor[T]) TryDelete() bool {
-	m := c.list.manager
+	l := c.list
 	d := c.target // Fig 10 line 1 (borrow the cursor's reference)
-	if d == c.list.last {
+	if d == l.last {
 		return false
 	}
 	// Fig 10 line 2. The paper reads d.next plainly; we use SafeRead so
@@ -191,32 +197,32 @@ func (c *Cursor[T]) TryDelete() bool {
 	// collapses auxiliary nodes after d); installing the older auxiliary
 	// node is benign because bypassed auxiliary nodes keep pointing into
 	// the list, and the chain collapse below removes the slack.
-	n := m.SafeRead(d.NextAddr())
-	c.list.maybeYield()
+	n := l.safeRead(d.NextAddr())
+	l.maybeYield()
 	if !c.preAux.CASNext(d, n) { // Fig 10 line 3
-		m.Release(n)
+		l.release(n)
 		return false // Fig 10 lines 4-5
 	}
-	m.AddRef(n)  // refs: new link pre_aux→n
-	m.Release(d) // refs: dropped link pre_aux→d
+	l.linkRef(n) // refs: new link pre_aux→n
+	l.unlink(d)  // refs: dropped link pre_aux→d
 
-	m.AddRef(c.preCell)
+	l.linkRef(c.preCell)
 	d.StoreBackLink(c.preCell) // Fig 10 line 6 (the stored pointer is counted)
 
 	// Fig 10 lines 7-11: walk back_links to a cell still in the list.
 	p := c.preCell
-	m.AddRef(p) // refs: private copy; the cursor keeps its own pre_cell reference
+	l.addRef(p) // refs: private copy; the cursor keeps its own pre_cell reference
 	for {
-		q := m.SafeRead(p.BackLinkAddr()) // Fig 10 line 9
+		q := l.safeRead(p.BackLinkAddr()) // Fig 10 line 9
 		if q == nil {                     // Fig 10 line 8
 			break
 		}
-		m.Release(p) // Fig 10 line 10
+		l.release(p) // Fig 10 line 10
 		p = q        // Fig 10 line 11
-		c.list.stats.addBacklinkSteps(1)
+		l.stats.addBacklinkSteps(1)
 	}
 
-	s := m.SafeRead(p.NextAddr()) // Fig 10 line 12
+	s := l.safeRead(p.NextAddr()) // Fig 10 line 12
 
 	// Fig 10 lines 13-16: advance n to the last auxiliary node of the
 	// chain (stop when the node after n is a normal cell).
@@ -225,23 +231,22 @@ func (c *Cursor[T]) TryDelete() bool {
 		if after == nil || after.IsNormal() {
 			break
 		}
-		q := m.SafeRead(n.NextAddr()) // Fig 10 line 14
-		m.Release(n)                  // Fig 10 line 15
+		q := l.safeRead(n.NextAddr()) // Fig 10 line 14
+		l.release(n)                  // Fig 10 line 15
 		n = q                         // Fig 10 line 16
-		c.list.stats.addChainSteps(1)
+		l.stats.addChainSteps(1)
 	}
 
 	// Fig 10 lines 17-21: swing p.next past the auxiliary chain. Stop on
 	// success, or when p has itself been deleted (its deleter's back_link
 	// walk takes over), or when the chain has been extended by another
 	// deletion (that deleter's collapse takes over).
-	backoff := primitive.Backoff{Disabled: c.list.noBackoff}
+	backoff := primitive.Backoff{Disabled: l.noBackoff}
 	for {
-		m2 := c.list
-		m2.maybeYield()
+		l.maybeYield()
 		if p.CASNext(s, n) { // Fig 10 line 17
-			m.AddRef(n)  // refs: new link p→n
-			m.Release(s) // refs: dropped link p→s
+			l.linkRef(n) // refs: new link p→n
+			l.unlink(s)  // refs: dropped link p→s
 			break
 		}
 		if p.BackLink() != nil {
@@ -251,13 +256,13 @@ func (c *Cursor[T]) TryDelete() bool {
 			break
 		}
 		backoff.Wait()               // §2.1: contended swing; back off before re-reading
-		m.Release(s)                 // Fig 10 line 19
-		s = m.SafeRead(p.NextAddr()) // Fig 10 line 20
-		c.list.stats.addDeleteCASRetries(1)
+		l.release(s)                 // Fig 10 line 19
+		s = l.safeRead(p.NextAddr()) // Fig 10 line 20
+		l.stats.addDeleteCASRetries(1)
 	}
-	m.Release(p) // Fig 10 line 22
-	m.Release(s) // Fig 10 line 23
-	m.Release(n) // Fig 10 line 24
+	l.release(p) // Fig 10 line 22
+	l.release(s) // Fig 10 line 23
+	l.release(n) // Fig 10 line 24
 	return true  // Fig 10 line 25
 }
 

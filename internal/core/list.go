@@ -47,7 +47,9 @@ import (
 // usable; construct with New.
 type List[T any] struct {
 	manager mm.Manager[T]
-	gc      bool        // manager is mm.GC: SafeRead/Release/AddRef are no-ops
+	gc      bool        // manager is mm.GC: all reference bookkeeping is a no-op
+	ebr     bool        // manager pins epochs: traversal references are no-ops, links stay counted
+	pinner  mm.Pinner   // non-nil exactly when ebr is true
 	first   *mm.Node[T] // dummy First cell; root pointer, never changes
 	last    *mm.Node[T] // dummy Last cell; root pointer, never changes
 	stats   *Counters   // nil unless EnableStats was called
@@ -61,23 +63,68 @@ type List[T any] struct {
 // memory-management calls of the GC manager are not left to dynamic
 // dispatch: the list detects mm.GC at construction and branches around
 // them. Under mm.RC the interface calls proceed as written.
+//
+// The paper's reference operations split into two families, and the
+// wrappers below encode the split so the algorithm text stays identical
+// across all three managers:
+//
+//   - traversal references (safeRead, release, addRef): the SafeReads a
+//     cursor performs per hop and the releases/duplications of its own
+//     position pointers. Counted under RC (Figures 15/16); no-ops under
+//     GC; under EBR they are replaced wholesale by the cursor's epoch pin
+//     — safeRead is a plain load and release/addRef do nothing.
+//   - link references (linkRef, unlink): a pointer stored into a cell
+//     field acquires a reference and a pointer overwritten drops one
+//     (the Michael & Scott bookkeeping). Counted under both RC and EBR —
+//     under EBR the drop of a cell's last link is what retires it — and
+//     no-ops under GC.
 
 func (l *List[T]) safeRead(p *atomic.Pointer[mm.Node[T]]) *mm.Node[T] {
-	if l.gc {
+	if l.gc || l.ebr {
 		return p.Load()
 	}
 	return l.manager.SafeRead(p)
 }
 
 func (l *List[T]) release(n *mm.Node[T]) {
-	if !l.gc {
+	if !l.gc && !l.ebr {
 		l.manager.Release(n)
 	}
 }
 
 func (l *List[T]) addRef(n *mm.Node[T]) {
+	if !l.gc && !l.ebr {
+		l.manager.AddRef(n)
+	}
+}
+
+// linkRef accounts for a new pointer to n stored in a cell field.
+func (l *List[T]) linkRef(n *mm.Node[T]) {
 	if !l.gc {
 		l.manager.AddRef(n)
+	}
+}
+
+// unlink accounts for a stored pointer to n being overwritten; under EBR
+// dropping the last link is the retire point of an unreachable cell.
+func (l *List[T]) unlink(n *mm.Node[T]) {
+	if !l.gc {
+		l.manager.Release(n)
+	}
+}
+
+// pin enters an epoch-protected region under the EBR manager and is a
+// no-op guard otherwise; every cursor holds one for its lifetime.
+func (l *List[T]) pin() (mm.Guard, bool) {
+	if l.pinner == nil {
+		return mm.Guard{}, false
+	}
+	return l.pinner.Pin(), true
+}
+
+func (l *List[T]) unpin(g mm.Guard, pinned bool) {
+	if pinned {
+		l.pinner.Unpin(g)
 	}
 }
 
@@ -100,7 +147,8 @@ func New[T any](manager mm.Manager[T]) *List[T] {
 	// The allocation references of first and last are retained as the
 	// list's root references and dropped by Close.
 	_, isGC := manager.(*mm.GC[T])
-	return &List[T]{manager: manager, gc: isGC, first: first, last: last}
+	pinner, isEBR := manager.(mm.Pinner)
+	return &List[T]{manager: manager, gc: isGC, ebr: isEBR, pinner: pinner, first: first, last: last}
 }
 
 // Manager returns the memory manager the list allocates from.
@@ -181,6 +229,7 @@ func (l *List[T]) Last() *mm.Node[T] { return l.last }
 // is created, it is visiting the first item in the list."
 func (l *List[T]) NewCursor() *Cursor[T] {
 	c := &Cursor[T]{list: l}
+	c.guard, c.pinned = l.pin() // EBR: the pin replaces per-hop SafeRead references
 	c.Reset()
 	return c
 }
@@ -194,10 +243,10 @@ func (l *List[T]) NewCursor() *Cursor[T] {
 // level this way.
 func (l *List[T]) CursorAt(n *mm.Node[T]) *Cursor[T] {
 	c := &Cursor[T]{list: l}
-	m := l.manager
+	c.guard, c.pinned = l.pin() // before any plain load of shared links
 	c.preCell = n
-	m.AddRef(n)
-	c.preAux = m.SafeRead(n.NextAddr())
+	l.addRef(n) // refs: the cursor's own hold, duplicating the caller's
+	c.preAux = l.safeRead(n.NextAddr())
 	c.target = nil
 	c.update()
 	return c

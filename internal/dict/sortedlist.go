@@ -21,8 +21,8 @@ var _ Dictionary[int, int] = (*SortedList[int, int])(nil)
 
 // NewSortedList returns an empty sorted-list dictionary whose cells come
 // from a fresh manager of the given mode. RC options (free-list striping,
-// cell padding, backoff — see mm.NewRC) apply under mm.ModeRC and are
-// ignored under mm.ModeGC.
+// cell padding, backoff — see mm.NewRC) configure the free list under
+// mm.ModeRC and mm.ModeEBR and are ignored under mm.ModeGC.
 func NewSortedList[K cmp.Ordered, V any](mode mm.Mode, opts ...mm.RCOption) *SortedList[K, V] {
 	return &SortedList[K, V]{list: core.New(mm.NewManager[Entry[K, V]](mode, opts...))}
 }

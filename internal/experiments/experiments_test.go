@@ -36,6 +36,22 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 	}
 }
 
+// TestE11LeakAudited pins the property that makes E11's speed columns
+// trustworthy: every ebr arm must drain its limbo and report zero live
+// cells — a wedge or leak turns the row's last cell into an error marker.
+func TestE11LeakAudited(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments take a few seconds even in quick mode")
+	}
+	table := E11(Options{Duration: 20 * time.Millisecond, Quick: true, Seed: 1})
+	for _, row := range table.Rows {
+		check := row[len(row)-1]
+		if check != "ok (0 live)" && check != "-" {
+			t.Errorf("row %q: ebr leak check = %q, want ok", row[0], check)
+		}
+	}
+}
+
 func TestLookup(t *testing.T) {
 	if _, ok := Lookup("e3"); !ok {
 		t.Fatal("case-insensitive lookup failed")

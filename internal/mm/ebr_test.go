@@ -1,0 +1,293 @@
+package mm
+
+import (
+	"sync"
+	"testing"
+
+	"valois/internal/testenv"
+)
+
+func TestEBRAllocGivesCallerReference(t *testing.T) {
+	m := NewEBR[int]()
+	n := m.Alloc()
+	if n == nil {
+		t.Fatal("Alloc returned nil without a capacity limit")
+	}
+	if got := n.RefCount(); got != 1 {
+		t.Fatalf("fresh cell refcount = %d, want 1", got)
+	}
+	if got := n.claim.Load(); got != 0 {
+		t.Fatalf("fresh cell claim = %d, want 0", got)
+	}
+}
+
+func TestEBRSafeReadIsPlainLoad(t *testing.T) {
+	m := NewEBR[int]()
+	n := m.Alloc()
+	var p = &n.next
+	n2 := m.Alloc()
+	p.Store(n2)
+	g := m.Pin()
+	if got := m.SafeRead(p); got != n2 {
+		t.Fatalf("SafeRead = %p, want %p", got, n2)
+	}
+	// The load must not have touched the count: the pin is the protection.
+	if got := n2.RefCount(); got != 1 {
+		t.Fatalf("refcount after SafeRead = %d, want 1 (plain load)", got)
+	}
+	m.Unpin(g)
+}
+
+// TestEBRPinBlocksReclamation is the manager-level statement of the core
+// EBR guarantee: a goroutine pinned at epoch e keeps every cell retired at
+// epoch e out of the free list, no matter how often advancement is tried,
+// because the second advancement past e cannot happen until the pin ends.
+func TestEBRPinBlocksReclamation(t *testing.T) {
+	m := NewEBR[int]()
+	g := m.Pin()
+
+	n := m.Alloc()
+	m.Release(n) // count hits zero: retired into the current epoch's bucket
+
+	for i := 0; i < 32; i++ {
+		m.ForceAdvance()
+	}
+	if got := m.Stats().Reclaims; got != 0 {
+		t.Fatalf("reclaims with a pin active = %d, want 0", got)
+	}
+	if got := m.LimboLen(); got != 1 {
+		t.Fatalf("limbo length with a pin active = %d, want 1", got)
+	}
+	// The epoch may advance at most once past the pin's observation.
+	if e := m.Epoch(); e > 2 {
+		t.Fatalf("epoch advanced to %d past an active pin at epoch 1", e)
+	}
+
+	m.Unpin(g)
+	if !m.Quiesce() {
+		t.Fatalf("Quiesce failed after unpin; limbo = %d", m.LimboLen())
+	}
+	s := m.Stats()
+	if s.Reclaims != 1 || s.Live() != 0 {
+		t.Fatalf("after quiesce: reclaims = %d live = %d, want 1 and 0", s.Reclaims, s.Live())
+	}
+}
+
+// TestEBRUnpinUnblocksAdvancement pins two goroutinesworth of slots and
+// shows the epoch stays put until the last one unpins.
+func TestEBRUnpinUnblocksAdvancement(t *testing.T) {
+	m := NewEBR[int]()
+	g1 := m.Pin()
+	g2 := m.Pin()
+	start := m.Epoch()
+
+	m.Release(m.Alloc()) // something in limbo so Unpin bothers advancing
+
+	m.Unpin(g1)
+	for i := 0; i < 8; i++ {
+		m.ForceAdvance()
+	}
+	if e := m.Epoch(); e > start+1 {
+		t.Fatalf("epoch advanced to %d with a pin still at %d", e, start)
+	}
+	m.Unpin(g2)
+	if !m.Quiesce() {
+		t.Fatalf("Quiesce failed; limbo = %d", m.LimboLen())
+	}
+	if got := m.Stats().Live(); got != 0 {
+		t.Fatalf("live after quiesce = %d, want 0", got)
+	}
+}
+
+// TestEBRResurrectionDeferral exercises the drain's count re-check: a
+// pinned goroutine holding a stale pointer stores a new counted link to an
+// already-retired cell (the TryDelete back_link shape). The drain must
+// requeue the cell instead of freeing it, and the eventual last Release
+// must not retire it a second time.
+func TestEBRResurrectionDeferral(t *testing.T) {
+	m := NewEBR[int]()
+	g := m.Pin()
+	n := m.Alloc()
+	m.Release(n) // retired; we still hold the raw pointer under the pin
+
+	m.AddRef(n) // the resurrecting link store bumps the count first
+	m.Unpin(g)
+
+	for i := 0; i < 32; i++ {
+		m.ForceAdvance()
+	}
+	if got := m.Stats().Reclaims; got != 0 {
+		t.Fatalf("resurrected cell reclaimed: reclaims = %d, want 0", got)
+	}
+	if got := m.LimboLen(); got != 1 {
+		t.Fatalf("limbo = %d, want 1 (requeued)", got)
+	}
+
+	m.Release(n) // the resurrecting link is dropped; claim already set
+	if !m.Quiesce() {
+		t.Fatalf("Quiesce failed; limbo = %d", m.LimboLen())
+	}
+	s := m.Stats()
+	if s.Reclaims != 1 || s.Live() != 0 {
+		t.Fatalf("reclaims = %d live = %d, want exactly 1 and 0", s.Reclaims, s.Live())
+	}
+}
+
+// TestEBRRetiredLinksStayReadable pins down cell persistence across
+// retirement: unlike RC's Reclaim, retiring must NOT clear next/back_link
+// — pinned traversals may still be walking through the deleted cell. The
+// links are dropped only when the grace period expires.
+func TestEBRRetiredLinksStayReadable(t *testing.T) {
+	m := NewEBR[int]()
+	g := m.Pin()
+	a := m.Alloc()
+	b := m.Alloc()
+	a.StoreNext(b)
+	m.AddRef(b)  // counted link a→b
+	m.Release(a) // a retired; holds the only surviving reference to b... plus ours
+
+	if got := a.Next(); got != b {
+		t.Fatalf("retired cell's next = %p, want %p (links must survive retirement)", got, b)
+	}
+	m.Release(b) // drop our allocation reference; the a→b link keeps b alive
+	if got := b.RefCount(); got != 1 {
+		t.Fatalf("b refcount = %d, want 1 (the a→b link)", got)
+	}
+	m.Unpin(g)
+	if !m.Quiesce() {
+		t.Fatalf("Quiesce failed; limbo = %d", m.LimboLen())
+	}
+	s := m.Stats()
+	if s.Reclaims != 2 || s.Live() != 0 {
+		t.Fatalf("reclaims = %d live = %d, want 2 and 0 (freeing a cascades to b)", s.Reclaims, s.Live())
+	}
+}
+
+func TestEBRReleaseNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	m := NewEBR[int]()
+	n := m.Alloc()
+	m.Release(n)
+	m.Release(n)
+}
+
+// TestEBRSlotBanksGrow takes more simultaneous pins than one bank holds;
+// Pin must never block, and advancement must still see every slot.
+func TestEBRSlotBanksGrow(t *testing.T) {
+	m := NewEBR[int]()
+	guards := make([]Guard, 3*slotsPerBank)
+	seen := make(map[*eslot]bool)
+	for i := range guards {
+		guards[i] = m.Pin()
+		if seen[guards[i].slot] {
+			t.Fatalf("pin %d reused an already-pinned slot", i)
+		}
+		seen[guards[i].slot] = true
+	}
+	m.Release(m.Alloc())
+	for i := 0; i < 8; i++ {
+		m.ForceAdvance()
+	}
+	if e := m.Epoch(); e > 2 {
+		t.Fatalf("epoch advanced to %d past %d active pins", e, len(guards))
+	}
+	for _, g := range guards {
+		m.Unpin(g)
+	}
+	if !m.Quiesce() {
+		t.Fatalf("Quiesce failed; limbo = %d", m.LimboLen())
+	}
+}
+
+// TestEBRExtractorRunsOnFree mirrors RC's reclaim-extractor contract: the
+// extractor's references are released when the retired cell is actually
+// freed, not at retire time.
+func TestEBRExtractorRunsOnFree(t *testing.T) {
+	m := NewEBR[int]()
+	b := m.Alloc() // the cell the extractor will surface, as a skip-list
+	// tower's Down pointer would; our allocation reference stands in for
+	// the item's counted reference.
+	m.SetReclaimExtractor(func(item int) (*Node[int], *Node[int]) {
+		if item == 1 {
+			return b, nil
+		}
+		return nil, nil
+	})
+	a := m.Alloc()
+	a.Item = 1
+	m.Release(a) // retire a; freeing it must release the item's reference to b
+	if !m.Quiesce() {
+		t.Fatalf("Quiesce failed; limbo = %d", m.LimboLen())
+	}
+	s := m.Stats()
+	if s.Reclaims != 2 || s.Live() != 0 {
+		t.Fatalf("reclaims = %d live = %d, want 2 and 0 (a's free must cascade to b)", s.Reclaims, s.Live())
+	}
+}
+
+// TestEBRChurnRace hammers the manager from several goroutines — pinned
+// traversal windows, counted holds, retires, and concurrent advancement —
+// under the race detector, then checks conservation.
+func TestEBRChurnRace(t *testing.T) {
+	m := NewEBR[int]()
+	const workers = 4
+	iters := testenv.Iters(20000)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			held := make([]*Node[int], 0, 8)
+			for i := 0; i < iters; i++ {
+				g := m.Pin()
+				n := m.Alloc()
+				if len(held) == cap(held) {
+					for _, h := range held {
+						m.Release(h)
+					}
+					held = held[:0]
+				}
+				held = append(held, n)
+				m.Unpin(g)
+				if i%64 == 0 {
+					m.ForceAdvance()
+				}
+			}
+			for _, h := range held {
+				m.Release(h)
+			}
+		}()
+	}
+	wg.Wait()
+	if !m.Quiesce() {
+		t.Fatalf("Quiesce failed; limbo = %d", m.LimboLen())
+	}
+	s := m.Stats()
+	if s.Live() != 0 {
+		t.Fatalf("live after churn = %d, want 0 (allocs %d, reclaims %d)", s.Live(), s.Allocs, s.Reclaims)
+	}
+	if s.Limbo != 0 {
+		t.Fatalf("limbo gauge = %d, want 0", s.Limbo)
+	}
+}
+
+// TestEBRModePlumbing checks the NewManager switch and the mode names.
+func TestEBRModePlumbing(t *testing.T) {
+	m := NewManager[int](ModeEBR)
+	if _, ok := m.(*EBR[int]); !ok {
+		t.Fatalf("NewManager(ModeEBR) = %T, want *EBR", m)
+	}
+	if _, ok := m.(Pinner); !ok {
+		t.Fatal("EBR manager does not implement Pinner")
+	}
+	if got := ModeEBR.String(); got != "ebr" {
+		t.Fatalf("ModeEBR.String() = %q", got)
+	}
+	if mode, ok := ParseMode("ebr"); !ok || mode != ModeEBR {
+		t.Fatalf("ParseMode(ebr) = %v, %v", mode, ok)
+	}
+}

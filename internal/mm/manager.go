@@ -70,6 +70,13 @@ type Stats struct {
 	// Stripes is the number of free-list stripes the manager was built
 	// with (a configuration echo, not a counter).
 	Stripes int
+
+	// Epoch and Limbo are gauges of the EBR manager (zero elsewhere):
+	// the current global epoch and the number of retired cells awaiting
+	// their grace period. Aggregating per-shard managers sums them, so
+	// treat the totals as activity indicators, not instantaneous state.
+	Epoch int64
+	Limbo int64
 }
 
 // Add accumulates o's counters into s (Stripes sums too, so aggregating
@@ -83,6 +90,8 @@ func (s *Stats) Add(o Stats) {
 	s.Grows += o.Grows
 	s.Steals += o.Steals
 	s.Stripes += o.Stripes
+	s.Epoch += o.Epoch
+	s.Limbo += o.Limbo
 }
 
 // Live returns the number of cells currently checked out (allocated and

@@ -8,6 +8,10 @@ const (
 	ModeGC Mode = iota + 1
 	// ModeRC uses the paper's reference-count scheme (§5; see RC).
 	ModeRC
+	// ModeEBR uses epoch-based reclamation: manual reclamation like RC,
+	// but traversal references become one Pin/Unpin per operation instead
+	// of a SafeRead/Release pair per hop (see EBR).
+	ModeEBR
 )
 
 // String returns the mode's short name as used in benchmark labels.
@@ -17,21 +21,40 @@ func (m Mode) String() string {
 		return "gc"
 	case ModeRC:
 		return "rc"
+	case ModeEBR:
+		return "ebr"
 	default:
 		return "invalid"
 	}
 }
 
-// NewManager returns a fresh manager of the given mode. RC options apply
-// only under ModeRC and are ignored by the GC manager (which has no free
-// list to stripe). It panics on an invalid mode, which indicates a
-// programming error at construction time.
+// ParseMode returns the mode named by s ("gc", "rc", or "ebr"),
+// reporting whether the name was recognized.
+func ParseMode(s string) (Mode, bool) {
+	switch s {
+	case "gc":
+		return ModeGC, true
+	case "rc":
+		return ModeRC, true
+	case "ebr":
+		return ModeEBR, true
+	default:
+		return 0, false
+	}
+}
+
+// NewManager returns a fresh manager of the given mode. RC options
+// configure the free list under ModeRC and ModeEBR and are ignored by the
+// GC manager (which has no free list to stripe). It panics on an invalid
+// mode, which indicates a programming error at construction time.
 func NewManager[T any](mode Mode, opts ...RCOption) Manager[T] {
 	switch mode {
 	case ModeGC:
 		return NewGC[T]()
 	case ModeRC:
 		return NewRC[T](opts...)
+	case ModeEBR:
+		return NewEBR[T](opts...)
 	default:
 		panic("mm: invalid Mode")
 	}

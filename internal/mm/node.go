@@ -75,6 +75,12 @@ type Node[T any] struct {
 	claim    atomic.Int32
 	kind     Kind
 
+	// limbo links retired cells into an EBR limbo list (see EBR). It is a
+	// separate field because a retired cell's next and back_link must stay
+	// readable until its grace period expires — pinned traversals may still
+	// be walking through the deleted cell (§2.2 cell persistence).
+	limbo atomic.Pointer[Node[T]]
+
 	// Item is the application payload stored in a normal cell. It is
 	// preserved after deletion ("cell persistence", §2.2) until the cell
 	// is reclaimed, so cursors visiting a deleted cell can still read it.

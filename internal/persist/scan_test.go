@@ -47,7 +47,7 @@ func orderedBackends(mode mm.Mode) map[string]scannable {
 }
 
 func TestSnapshotScanUnderMutation(t *testing.T) {
-	for _, mode := range []mm.Mode{mm.ModeGC, mm.ModeRC} {
+	for _, mode := range []mm.Mode{mm.ModeGC, mm.ModeRC, mm.ModeEBR} {
 		for name, d := range orderedBackends(mode) {
 			t.Run(fmt.Sprintf("%s-%v", name, mode), func(t *testing.T) {
 				testScanUnderMutation(t, d)

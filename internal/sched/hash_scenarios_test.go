@@ -44,10 +44,26 @@ func checkCollidingHash(h *dict.Hash[int, int], mode mm.Mode) error {
 			return fmt.Errorf("bucket %d: %w", i, err)
 		}
 	}
-	if mode == mm.ModeRC {
+	switch mode {
+	case mm.ModeRC:
 		h.Close()
 		if live := h.MemStats().Live(); live != 0 {
 			return fmt.Errorf("live cells after Close = %d, want 0", live)
+		}
+	case mm.ModeEBR:
+		// Each bucket has its own manager; quiesce them all after Close.
+		managers := make([]*mm.EBR[dict.Entry[int, int]], 0, 2)
+		for i := 0; i < 2; i++ {
+			managers = append(managers, h.Bucket(i).List().Manager().(*mm.EBR[dict.Entry[int, int]]))
+		}
+		h.Close()
+		for i, ebr := range managers {
+			if !ebr.Quiesce() {
+				return fmt.Errorf("bucket %d: ebr limbo did not drain: %d cells", i, ebr.LimboLen())
+			}
+		}
+		if live := h.MemStats().Live(); live != 0 {
+			return fmt.Errorf("live cells after Close+Quiesce = %d, want 0", live)
 		}
 	}
 	return nil
@@ -57,6 +73,7 @@ func hashModes(t *testing.T, f func(t *testing.T, mode mm.Mode)) {
 	t.Helper()
 	t.Run("gc", func(t *testing.T) { f(t, mm.ModeGC) })
 	t.Run("rc", func(t *testing.T) { f(t, mm.ModeRC) })
+	t.Run("ebr", func(t *testing.T) { f(t, mm.ModeEBR) })
 }
 
 // TestExhaustiveHashInsertVsDeleteColliding races Insert(20) against

@@ -71,6 +71,17 @@ func checkList(m mm.Manager[int], l *core.List[int], cursors []*core.Cursor[int]
 			return fmt.Errorf("live cells after Close = %d, want 0", live)
 		}
 	}
+	if ebr, ok := m.(*mm.EBR[int]); ok {
+		// Reclamation is deferred under EBR: with every pin released, a
+		// quiesce must drain the limbo lists down to zero live cells.
+		l.Close()
+		if !ebr.Quiesce() {
+			return fmt.Errorf("ebr limbo did not drain: %d cells", ebr.LimboLen())
+		}
+		if live := ebr.Stats().Live(); live != 0 {
+			return fmt.Errorf("live cells after Close+Quiesce = %d, want 0", live)
+		}
+	}
 	return nil
 }
 
@@ -113,6 +124,7 @@ func managers(t *testing.T, f func(t *testing.T, newM func() mm.Manager[int])) {
 	t.Helper()
 	t.Run("gc", func(t *testing.T) { f(t, func() mm.Manager[int] { return mm.NewGC[int]() }) })
 	t.Run("rc", func(t *testing.T) { f(t, func() mm.Manager[int] { return mm.NewRC[int]() }) })
+	t.Run("ebr", func(t *testing.T) { f(t, func() mm.Manager[int] { return mm.NewEBR[int]() }) })
 }
 
 // TestExhaustiveFigure2 explores every interleaving of the Figure 2 race:

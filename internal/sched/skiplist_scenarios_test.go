@@ -20,6 +20,7 @@ func skipModes(t *testing.T, f func(t *testing.T, mode mm.Mode)) {
 	t.Helper()
 	t.Run("gc", func(t *testing.T) { f(t, mm.ModeGC) })
 	t.Run("rc", func(t *testing.T) { f(t, mm.ModeRC) })
+	t.Run("ebr", func(t *testing.T) { f(t, mm.ModeEBR) })
 }
 
 // TestExhaustiveSkipListDeleteVsReinsert races Delete(k) against a

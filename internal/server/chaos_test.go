@@ -116,10 +116,10 @@ func dialChaos(addr, protocol string) (*client.Client, error) {
 func TestChaosLinearizable(t *testing.T) {
 	for bi, backend := range server.Backends() {
 		for si, seed := range chaosSeeds {
-			mode := "gc"
-			if (bi+si)%2 == 1 {
-				mode = "rc" // alternate so each backend runs both §5 modes
-			}
+			// Alternate so each backend runs all three memory modes (gc,
+			// §5 reference counts, epoch-based reclamation) across the
+			// seed matrix.
+			mode := []string{"gc", "rc", "ebr"}[(bi+si)%3]
 			t.Run(fmt.Sprintf("%s-%s-seed%d", backend, mode, seed), func(t *testing.T) {
 				runChaos(t, backend, mode, seed)
 			})

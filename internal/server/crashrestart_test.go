@@ -181,10 +181,7 @@ func TestCrashRestartLinearizable(t *testing.T) {
 	ordered := []string{server.BackendList, server.BackendSkipList, server.BackendBST}
 	for bi, backend := range ordered {
 		for si, seed := range chaosSeeds {
-			mode := "gc"
-			if (bi+si)%2 == 1 {
-				mode = "rc"
-			}
+			mode := []string{"gc", "rc", "ebr"}[(bi+si)%3]
 			snapshots := si%2 == 1
 			t.Run(fmt.Sprintf("%s-%s-seed%d", backend, mode, seed), func(t *testing.T) {
 				runCrashRestart(t, bin, backend, mode, seed, snapshots)

@@ -31,7 +31,7 @@ func TestE2EMixedWorkloadOracle(t *testing.T) {
 		{server.BackendList, 24},
 	}
 	for _, b := range backends {
-		for _, mode := range []string{"gc", "rc"} {
+		for _, mode := range []string{"gc", "rc", "ebr"} {
 			t.Run(b.name+"/"+mode, func(t *testing.T) {
 				runOracle(t, server.Config{Backend: b.name, Mode: mode, Shards: 4, Buckets: 32}, b.keys)
 			})

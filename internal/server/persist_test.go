@@ -69,7 +69,7 @@ func statInt(t *testing.T, stats map[string]string, name string) int {
 // acknowledged, nothing more.
 func TestServerRecovery(t *testing.T) {
 	for _, backend := range server.Backends() {
-		for _, mode := range []string{"gc", "rc"} {
+		for _, mode := range []string{"gc", "rc", "ebr"} {
 			t.Run(backend+"/"+mode, func(t *testing.T) {
 				dir := t.TempDir()
 				cfg := server.Config{

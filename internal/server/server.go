@@ -55,7 +55,8 @@ type Config struct {
 	// Backend selects the §4 structure each shard instantiates:
 	// "list", "hash", "skiplist" (default), or "bst".
 	Backend string
-	// Mode selects cell reclamation: "gc" (default) or "rc" (§5).
+	// Mode selects cell reclamation: "gc" (default), "rc" (§5), or
+	// "ebr" (epoch-based reclamation over the §5 free list).
 	Mode string
 	// Shards is the number of independent dictionary instances keys are
 	// hashed across. Default 16.
@@ -238,14 +239,9 @@ func New(cfg Config) (*Server, error) {
 	default:
 		return nil, fmt.Errorf("server: unknown protocol %q (want text, resp, or auto)", cfg.Protocol)
 	}
-	var mode mm.Mode
-	switch cfg.Mode {
-	case "gc":
-		mode = mm.ModeGC
-	case "rc":
-		mode = mm.ModeRC
-	default:
-		return nil, fmt.Errorf("server: unknown memory mode %q (want gc or rc)", cfg.Mode)
+	mode, ok := mm.ParseMode(cfg.Mode)
+	if !ok {
+		return nil, fmt.Errorf("server: unknown memory mode %q (want gc, rc, or ebr)", cfg.Mode)
 	}
 	s := &Server{
 		cfg:      cfg,
@@ -586,6 +582,11 @@ func (s *Server) Stats() []Stat {
 		{"mm_grows", n(mem.Grows)},
 		{"mm_steals", n(mem.Steals)},
 		{"mm_stripes", n(int64(mem.Stripes))},
+		// Epoch-based reclamation gauges (zero under gc and rc): the
+		// current epoch and the limbo population, summed across shards —
+		// activity indicators, not exact globals.
+		{"mm_epoch", n(mem.Epoch)},
+		{"mm_limbo", n(mem.Limbo)},
 	}
 	stats = append(stats, s.persistStats()...)
 	for i, c := range perShard {

@@ -70,7 +70,7 @@ func protoFor(i int) string {
 
 func TestServerBasicOps(t *testing.T) {
 	for _, backend := range server.Backends() {
-		for _, mode := range []string{"gc", "rc"} {
+		for _, mode := range []string{"gc", "rc", "ebr"} {
 			for _, protocol := range []string{proto.ProtocolText, proto.ProtocolRESP} {
 				t.Run(backend+"/"+mode+"/"+protocol, func(t *testing.T) {
 					_, addr := startServer(t, server.Config{Backend: backend, Mode: mode, Shards: 4, Buckets: 64})

@@ -18,7 +18,7 @@ import (
 
 func TestWireLinearizable(t *testing.T) {
 	for bi, backend := range server.Backends() {
-		for mi, mode := range []string{"gc", "rc"} {
+		for mi, mode := range []string{"gc", "rc", "ebr"} {
 			t.Run(fmt.Sprintf("%s-%s", backend, mode), func(t *testing.T) {
 				seed := int64(bi*2 + mi + 1)
 				runWireLinearizable(t, backend, mode, seed)

@@ -83,9 +83,9 @@ type rcOptionsOption []mm.RCOption
 
 func (r rcOptionsOption) apply(o *options) { o.rcOpts = append(o.rcOpts, r...) }
 
-// WithRCOptions forwards options to the skip list's RC memory manager
-// (free-list striping, cell padding, backoff — see mm.NewRC). Ignored
-// under mm.ModeGC.
+// WithRCOptions forwards options to the skip list's free-list memory
+// manager (striping, cell padding, backoff — see mm.NewRC), used under
+// mm.ModeRC and mm.ModeEBR. Ignored under mm.ModeGC.
 func WithRCOptions(opts ...mm.RCOption) Option { return rcOptionsOption(opts) }
 
 // New returns an empty skip-list dictionary under the given memory mode.
@@ -97,14 +97,22 @@ func New[K cmp.Ordered, V any](mode mm.Mode, opts ...Option) *SkipList[K, V] {
 	if o.maxLevel < 1 {
 		o.maxLevel = 1
 	}
+	extractor := func(it item[K, V]) (*mm.Node[item[K, V]], *mm.Node[item[K, V]]) {
+		return it.Down, nil
+	}
 	var manager mm.Manager[item[K, V]]
 	switch mode {
 	case mm.ModeRC:
 		rc := mm.NewRC[item[K, V]](o.rcOpts...)
-		rc.SetReclaimExtractor(func(it item[K, V]) (*mm.Node[item[K, V]], *mm.Node[item[K, V]]) {
-			return it.Down, nil
-		})
+		rc.SetReclaimExtractor(extractor)
 		manager = rc
+	case mm.ModeEBR:
+		// The level cursors pin themselves (core.List detects the Pinner);
+		// the cross-level predecessor references descend keeps across
+		// cursor lifetimes stay counted, so they survive unpinned windows.
+		ebr := mm.NewEBR[item[K, V]](o.rcOpts...)
+		ebr.SetReclaimExtractor(extractor)
+		manager = ebr
 	default:
 		manager = mm.NewGC[item[K, V]]()
 	}

@@ -33,6 +33,10 @@
 // manipulated with SafeRead and Release. RC is exact (cells are reclaimed
 // the moment the last reference disappears) but pays two atomic updates
 // per pointer traversal; GC is faster and is the default recommendation.
+// EBR keeps the free list but replaces the per-hop counting with
+// epoch-based reclamation: an operation pins the current epoch, retired
+// cells sit in limbo for two grace periods, and traversal hops are plain
+// loads — near-GC traversal speed with explicit, bounded-lag recycling.
 package valois
 
 import (
@@ -49,16 +53,26 @@ const (
 	// RC uses the paper's §5 reference-count scheme with a lock-free
 	// free list.
 	RC
+	// EBR uses epoch-based reclamation over the §5 free list: traversals
+	// are protected by per-operation epoch pins instead of per-hop
+	// reference counts, and retired cells wait out two grace periods in
+	// limbo before being recycled. Cheaper traversal than RC; reclamation
+	// is deferred rather than exact.
+	EBR
 )
 
 func (m MemoryMode) mode() mm.Mode {
-	if m == RC {
+	switch m {
+	case RC:
 		return mm.ModeRC
+	case EBR:
+		return mm.ModeEBR
+	default:
+		return mm.ModeGC
 	}
-	return mm.ModeGC
 }
 
-// String returns "gc" or "rc".
+// String returns "gc", "rc", or "ebr".
 func (m MemoryMode) String() string { return m.mode().String() }
 
 // List is a lock-free singly-linked list of items of type T (§3). All
